@@ -1,0 +1,153 @@
+//! Ablation studies for the design choices:
+//!
+//! 1. **DVI-penalty terms** (Algorithm 3): dead-via count of the
+//!    heuristic with each DP term (δ / λ / μ) disabled in turn.
+//! 2. **Cost-assignment weight α** (Algorithm 1): dead-via count after
+//!    routing with different block-DVIC weights.
+//! 3. **1-swap improvement** (our extension): Algorithm 3 vs the
+//!    swap-improved variant vs the exact lazy-cut ILP.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin ablation -- \
+//!     [--scale f] [--seed n] [--circuits a,b]
+//! ```
+
+use bench_suite::table::{num, text};
+use bench_suite::{RunArgs, TableBuilder};
+use dvi::{solve_heuristic, solve_heuristic_improved, solve_ilp_lazy, DviParams, DviProblem,
+          LazyIlpOptions};
+use sadp_grid::SadpKind;
+use sadp_router::{CostParams, Router, RouterConfig};
+
+fn main() {
+    let args = RunArgs::parse();
+    let suite = args.suite();
+
+    // Part 1: DP-term ablation on the fully-considered routing.
+    let variants: [(&str, DviParams); 5] = [
+        ("full (1,1,1)", DviParams { delta: 1, lambda: 1, mu: 1 }),
+        ("no delta (0,1,1)", DviParams { delta: 0, lambda: 1, mu: 1 }),
+        ("no lambda (1,0,1)", DviParams { delta: 1, lambda: 0, mu: 1 }),
+        ("no mu (1,1,0)", DviParams { delta: 1, lambda: 1, mu: 0 }),
+        ("none (0,0,0)", DviParams { delta: 0, lambda: 0, mu: 0 }),
+    ];
+    let mut headers = vec!["CKT".to_string()];
+    let mut decimals = vec![0usize];
+    for (name, _) in &variants {
+        headers.push(format!("#DV|{name}"));
+        decimals.push(0);
+    }
+    let mut t = TableBuilder::new(
+        format!(
+            "Ablation A: DVI-penalty terms of the heuristic (scale {}, seed {})",
+            args.scale, args.seed
+        ),
+        headers,
+        decimals,
+    );
+    for v in 0..variants.len() {
+        t.normalize(1 + v, 1);
+    }
+    for spec in &suite {
+        let netlist = spec.generate(args.seed);
+        let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+        let problem = DviProblem::build(SadpKind::Sim, &out.solution);
+        let mut cells = vec![text(spec.name)];
+        for (name, params) in &variants {
+            let h = solve_heuristic(&problem, params);
+            eprintln!("  {} / {name}: dead={}", spec.name, h.dead_via_count);
+            cells.push(num(h.dead_via_count as f64));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!();
+
+    // Part 2: alpha (block-DVIC weight) sweep during routing.
+    let alphas = [0i64, 2, 4, 8, 16];
+    let mut headers = vec!["CKT".to_string()];
+    let mut decimals = vec![0usize];
+    for a in alphas {
+        headers.push(format!("#DV|a={a}"));
+        decimals.push(0);
+    }
+    let mut t = TableBuilder::new(
+        format!(
+            "Ablation B: block-DVIC weight alpha in the cost assignment (scale {}, seed {})",
+            args.scale, args.seed
+        ),
+        headers,
+        decimals,
+    );
+    for (i, _) in alphas.iter().enumerate() {
+        t.normalize(1 + i, 1);
+    }
+    for spec in &suite {
+        let mut cells = vec![text(spec.name)];
+        for &alpha in &alphas {
+            let netlist = spec.generate(args.seed);
+            let mut config = RouterConfig::full(SadpKind::Sim);
+            config.params = CostParams { alpha, ..CostParams::default() };
+            let out = Router::new(spec.grid(), netlist, config).run();
+            let problem = DviProblem::build(SadpKind::Sim, &out.solution);
+            let h = solve_heuristic(&problem, &DviParams::default());
+            eprintln!("  {} / alpha={alpha}: dead={}", spec.name, h.dead_via_count);
+            cells.push(num(h.dead_via_count as f64));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!();
+
+    // Part 3: heuristic vs swap-improved heuristic vs exact ILP.
+    let mut t = TableBuilder::new(
+        format!(
+            "Ablation C: Algorithm 3 vs 1-swap improvement vs exact ILP (scale {}, seed {})",
+            args.scale, args.seed
+        ),
+        vec![
+            "CKT".into(),
+            "#DV|heur".into(),
+            "#DV|heur+swap".into(),
+            "#DV|ILP".into(),
+            "CPU(s)|heur".into(),
+            "CPU(s)|heur+swap".into(),
+            "CPU(s)|ILP".into(),
+        ],
+        vec![0, 0, 0, 0, 3, 3, 3],
+    );
+    for c in 1..=3 {
+        t.normalize(c, 3);
+    }
+    for c in 4..=6 {
+        t.normalize(c, 4);
+    }
+    for spec in &suite {
+        let netlist = spec.generate(args.seed);
+        let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+        let problem = DviProblem::build(SadpKind::Sim, &out.solution);
+        let h = solve_heuristic(&problem, &DviParams::default());
+        let hi = solve_heuristic_improved(&problem, &DviParams::default());
+        let (ilp, _) = solve_ilp_lazy(
+            &problem,
+            &LazyIlpOptions {
+                time_limit: Some(args.ilp_limit),
+                ..LazyIlpOptions::default()
+            },
+        );
+        eprintln!(
+            "  {}: heur={} heur+swap={} ilp={}",
+            spec.name, h.dead_via_count, hi.dead_via_count, ilp.dead_via_count
+        );
+        t.row(vec![
+            text(spec.name),
+            num(h.dead_via_count as f64),
+            num(hi.dead_via_count as f64),
+            num(ilp.dead_via_count as f64),
+            num(h.runtime.as_secs_f64()),
+            num(hi.runtime.as_secs_f64()),
+            num(ilp.runtime.as_secs_f64()),
+        ]);
+    }
+    print!("{}", t.render());
+}

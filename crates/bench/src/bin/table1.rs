@@ -1,0 +1,37 @@
+//! Table I — statistics of the benchmark suite.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin table1 [-- --scale f --seed n]
+//! ```
+
+use bench_suite::table::{num, text};
+use bench_suite::{RunArgs, TableBuilder};
+
+fn main() {
+    let args = RunArgs::parse();
+    let mut t = TableBuilder::new(
+        format!(
+            "Table I: Statistics of benchmarks (scale {}, seed {})",
+            args.scale, args.seed
+        ),
+        vec![
+            "Benchmark".into(),
+            "#Nets".into(),
+            "Grid W".into(),
+            "Grid H".into(),
+            "#Pins".into(),
+        ],
+        vec![0, 0, 0, 0, 0],
+    );
+    for spec in args.suite() {
+        let nl = spec.generate(args.seed);
+        t.row(vec![
+            text(spec.name),
+            num(nl.len() as f64),
+            num(spec.width as f64),
+            num(spec.height as f64),
+            num(nl.pin_count() as f64),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,28 @@
+//! Table II — parameter values used by all experiments.
+
+use dvi::DviParams;
+use sadp_router::CostParams;
+
+fn main() {
+    let c = CostParams::default();
+    let d = DviParams::default();
+    println!("Table II: Parameter values in the experiments");
+    println!("---------------------------------------------");
+    println!("Cost assignment scheme:");
+    println!("  alpha (BDC weight)   = {}", c.alpha);
+    println!("  AMC  (along-metal)   = {}", c.amc);
+    println!("  beta (CDC weight)    = {}", c.beta);
+    println!("  gamma (TPLC weight)  = {}", c.gamma);
+    println!("TPL-aware DVI:");
+    println!("  delta  (feasible-DVIC term) = {}", d.delta);
+    println!("  lambda (conflict term)      = {}", d.lambda);
+    println!("  mu     (killed-DVIC term)   = {}", d.mu);
+    println!();
+    println!("Routing base costs (ours; not in the paper's table):");
+    println!("  wire step            = {}", c.wire_base);
+    println!("  non-preferred mult   = {}", c.non_preferred_mult);
+    println!("  via                  = {}", c.via_base);
+    println!("  non-preferred turn   = {}", c.non_preferred_turn);
+    println!("  usage (per other net)= {}", c.usage);
+    println!("  history increment    = {}", c.history_increment);
+}

@@ -1,0 +1,13 @@
+//! Table IV — SID-type SADP-aware routing with the four experiment
+//! arms (baseline / +DVI / +TPL / +both): WL, #Vias, CPU, #DV, #UV.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin table4 -- \
+//!     [--scale f] [--seed n] [--dvi ilp|heur] [--ilp-limit secs]
+//! ```
+
+use sadp_grid::SadpKind;
+
+fn main() {
+    bench_suite::harness::arm_table(SadpKind::Sid, "Table IV");
+}

@@ -1,0 +1,73 @@
+//! Table V — comparison with the conference version \[36\]: the journal
+//! paper enlarges the DVI cost-assignment parameters (α, β) to
+//! emphasize DVI. Both columns run the SIM "consider DVI & via layer
+//! TPL" arm; the `[36]` column uses the smaller conference parameter set.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin table5 -- \
+//!     [--scale f] [--seed n] [--dvi ilp|heur]
+//! ```
+
+use bench_suite::table::{num, text};
+use bench_suite::{run_arm, DviMode, RunArgs, TableBuilder};
+use sadp_grid::SadpKind;
+use sadp_router::{CostParams, RouterConfig};
+
+fn main() {
+    let args = RunArgs::parse();
+    let dvi_label = match args.dvi_mode {
+        DviMode::Ilp => "ILP",
+        DviMode::Heuristic => "heuristic",
+    };
+    let mut conf = RouterConfig::full(SadpKind::Sim);
+    conf.params = CostParams::conference();
+    let journal = RouterConfig::full(SadpKind::Sim);
+
+    let mut t = TableBuilder::new(
+        format!(
+            "Table V: SADP-aware detailed routing with DVI and via layer TPL, \
+             journal vs conference [36] parameters (scale {}, seed {}, DVI: {dvi_label})",
+            args.scale, args.seed
+        ),
+        vec![
+            "CKT".into(),
+            "WL|[36]".into(),
+            "#Vias|[36]".into(),
+            "CPU(s)|[36]".into(),
+            "#DV|[36]".into(),
+            "#UV|[36]".into(),
+            "WL|ours".into(),
+            "#Vias|ours".into(),
+            "CPU(s)|ours".into(),
+            "#DV|ours".into(),
+            "#UV|ours".into(),
+        ],
+        vec![0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0],
+    );
+    for c in 0..5 {
+        t.normalize(1 + c, 1 + c);
+        t.normalize(6 + c, 1 + c);
+    }
+    for spec in args.suite() {
+        let a = run_arm(&spec, conf, &args);
+        let b = run_arm(&spec, journal, &args);
+        eprintln!(
+            "  {}: [36] dv={} | ours dv={} (WL {} -> {})",
+            spec.name, a.dv, b.dv, a.wl, b.wl
+        );
+        t.row(vec![
+            text(spec.name),
+            num(a.wl as f64),
+            num(a.vias as f64),
+            num(a.cpu),
+            num(a.dv as f64),
+            num(a.uv as f64),
+            num(b.wl as f64),
+            num(b.vias as f64),
+            num(b.cpu),
+            num(b.dv as f64),
+            num(b.uv as f64),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,12 @@
+//! Table VI — TPL-aware DVI, ILP vs heuristic, on SIM-type routing.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin table6 -- \
+//!     [--scale f] [--seed n] [--ilp-limit secs]
+//! ```
+
+use sadp_grid::SadpKind;
+
+fn main() {
+    bench_suite::harness::ilp_vs_heuristic_table(SadpKind::Sim, "Table VI");
+}

@@ -1,0 +1,366 @@
+//! Experiment runner shared by the table binaries.
+
+use std::time::Duration;
+
+use benchgen::BenchSpec;
+use dvi::{solve_heuristic, solve_ilp_lazy, DviParams, DviProblem, LazyIlpOptions};
+use sadp_grid::SadpKind;
+use sadp_router::{Router, RouterConfig};
+
+/// Which solver computes the post-routing TPL-aware DVI metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DviMode {
+    /// The literal C1–C8 ILP (optimality reference; slow).
+    Ilp,
+    /// Algorithm 3 (fast).
+    Heuristic,
+}
+
+/// Command-line arguments shared by all table binaries.
+///
+/// ```text
+/// --scale f        benchmark scale factor in (0,1]   (default 0.2)
+/// --seed n         generator seed                     (default 1)
+/// --dvi ilp|heur   post-routing DVI solver            (default heur)
+/// --ilp-limit s    ILP time limit per circuit, secs   (default 600)
+/// --circuits a,b   subset of circuit names            (default all)
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Benchmark scale factor.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// DVI solver for #DV / #UV columns.
+    pub dvi_mode: DviMode,
+    /// ILP time limit per circuit.
+    pub ilp_limit: Duration,
+    /// Circuit-name filter (`None` = the full suite).
+    pub circuits: Option<Vec<String>>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            scale: 0.2,
+            seed: 1,
+            dvi_mode: DviMode::Heuristic,
+            ilp_limit: Duration::from_secs(600),
+            circuits: None,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parses `std::env::args()`; unknown flags abort with a usage
+    /// message.
+    pub fn parse() -> RunArgs {
+        let mut out = RunArgs::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    out.scale = need(i).parse().expect("--scale takes a float");
+                    i += 2;
+                }
+                "--seed" => {
+                    out.seed = need(i).parse().expect("--seed takes an integer");
+                    i += 2;
+                }
+                "--dvi" => {
+                    out.dvi_mode = match need(i).as_str() {
+                        "ilp" => DviMode::Ilp,
+                        "heur" | "heuristic" => DviMode::Heuristic,
+                        other => {
+                            eprintln!("unknown --dvi mode {other}");
+                            std::process::exit(2);
+                        }
+                    };
+                    i += 2;
+                }
+                "--ilp-limit" => {
+                    out.ilp_limit =
+                        Duration::from_secs(need(i).parse().expect("--ilp-limit takes seconds"));
+                    i += 2;
+                }
+                "--circuits" => {
+                    out.circuits =
+                        Some(need(i).split(',').map(|s| s.trim().to_string()).collect());
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--scale f] [--seed n] [--dvi ilp|heur] \
+                         [--ilp-limit secs] [--circuits a,b,...]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// The benchmark suite selected by these arguments.
+    pub fn suite(&self) -> Vec<BenchSpec> {
+        BenchSpec::paper_suite()
+            .into_iter()
+            .filter(|s| {
+                self.circuits
+                    .as_ref()
+                    .is_none_or(|list| list.iter().any(|n| n == s.name))
+            })
+            .map(|s| s.scaled(self.scale))
+            .collect()
+    }
+}
+
+/// Metrics of one experiment arm on one circuit — the table columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmMetrics {
+    /// Total wirelength.
+    pub wl: u64,
+    /// Total via count.
+    pub vias: u64,
+    /// Detailed-routing CPU seconds.
+    pub cpu: f64,
+    /// Dead via count after post-routing DVI.
+    pub dv: usize,
+    /// Uncolorable via count.
+    pub uv: usize,
+    /// DVI-pass CPU seconds.
+    pub dvi_cpu: f64,
+    /// 100% routability achieved.
+    pub routed: bool,
+}
+
+/// Routes one circuit under `config` and evaluates post-routing
+/// TPL-aware DVI with the chosen solver.
+pub fn run_arm(
+    spec: &BenchSpec,
+    config: RouterConfig,
+    args: &RunArgs,
+) -> ArmMetrics {
+    let netlist = spec.generate(args.seed);
+    let outcome = Router::new(spec.grid(), netlist, config).run();
+    let problem = DviProblem::build(config.sadp, &outcome.solution);
+    let (dv, uv, dvi_cpu) = match args.dvi_mode {
+        DviMode::Heuristic => {
+            let h = solve_heuristic(&problem, &DviParams::default());
+            (h.dead_via_count, h.uncolorable_count, h.runtime.as_secs_f64())
+        }
+        DviMode::Ilp => {
+            let (o, _stats) = solve_ilp_lazy(
+                &problem,
+                &LazyIlpOptions {
+                    time_limit: Some(args.ilp_limit),
+                    ..LazyIlpOptions::default()
+                },
+            );
+            (o.dead_via_count, o.uncolorable_count, o.runtime.as_secs_f64())
+        }
+    };
+    ArmMetrics {
+        wl: outcome.stats.wirelength,
+        vias: outcome.stats.vias,
+        cpu: outcome.runtime.as_secs_f64(),
+        dv,
+        uv,
+        dvi_cpu,
+        routed: outcome.routed_all && outcome.congestion_free,
+    }
+}
+
+/// The four experiment arms of Tables III/IV, in paper order.
+pub fn four_arms(kind: SadpKind) -> [(&'static str, RouterConfig); 4] {
+    [
+        ("SADP-aware routing", RouterConfig::baseline(kind)),
+        ("Consider DVI", RouterConfig::with_dvi(kind)),
+        ("Consider via layer TPL", RouterConfig::with_tpl(kind)),
+        ("Consider DVI & via layer TPL", RouterConfig::full(kind)),
+    ]
+}
+
+/// Runs and prints a Tables III/IV-style four-arm comparison for one
+/// SADP process (shared by the `table3` and `table4` binaries).
+pub fn arm_table(kind: SadpKind, title: &str) {
+    use crate::table::{num, text};
+    let args = RunArgs::parse();
+    let dvi_label = match args.dvi_mode {
+        DviMode::Ilp => "ILP",
+        DviMode::Heuristic => "heuristic",
+    };
+    let arms = four_arms(kind);
+    let mut headers = vec!["CKT".to_string()];
+    let mut decimals = vec![0usize];
+    for (name, _) in &arms {
+        for col in ["WL", "#Vias", "CPU(s)", "#DV", "#UV"] {
+            headers.push(format!("{col}|{}", short(name)));
+            decimals.push(if col == "CPU(s)" { 1 } else { 0 });
+        }
+    }
+    let mut t = crate::table::TableBuilder::new(
+        format!(
+            "{title}: {kind} SADP-aware detailed routing considering DVI and via layer TPL \
+             (scale {}, seed {}, post-routing DVI: {dvi_label})",
+            args.scale, args.seed
+        ),
+        headers,
+        decimals,
+    );
+    // Normalize each arm's metric against the baseline arm's metric.
+    for a in 0..arms.len() {
+        for c in 0..5 {
+            t.normalize(1 + a * 5 + c, 1 + c);
+        }
+    }
+    for spec in args.suite() {
+        let mut cells = vec![text(spec.name)];
+        for (_, config) in &arms {
+            let m = run_arm(&spec, *config, &args);
+            assert!(m.routed, "{}: routability below 100%", spec.name);
+            cells.extend([
+                num(m.wl as f64),
+                num(m.vias as f64),
+                num(m.cpu),
+                num(m.dv as f64),
+                num(m.uv as f64),
+            ]);
+            eprintln!(
+                "  [{}] {}: WL={} vias={} cpu={:.1}s dv={} uv={}",
+                kind, spec.name, m.wl, m.vias, m.cpu, m.dv, m.uv
+            );
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!("(arm columns: base = plain SADP-aware routing, +DVI, +TPL, +both; \
+              all normalized against base)");
+}
+
+fn short(arm: &str) -> &'static str {
+    match arm {
+        "SADP-aware routing" => "base",
+        "Consider DVI" => "+DVI",
+        "Consider via layer TPL" => "+TPL",
+        _ => "+both",
+    }
+}
+
+/// Runs and prints a Tables VI/VII-style ILP-vs-heuristic comparison
+/// (shared by the `table6` and `table7` binaries). The routing arm is
+/// always "consider DVI & via layer TPL", as in the paper.
+pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
+    use crate::table::{num, text};
+    let args = RunArgs::parse();
+    let mut t = crate::table::TableBuilder::new(
+        format!(
+            "{title}: TPL-aware DVI for {kind} SADP-aware detailed routing \
+             (scale {}, seed {}, ILP limit {:?})",
+            args.scale, args.seed, args.ilp_limit
+        ),
+        vec![
+            "CKT".into(),
+            "#DV|ILP".into(),
+            "#UV|ILP".into(),
+            "CPU(s)|ILP".into(),
+            "gap|ILP".into(),
+            "#DV|Heur".into(),
+            "#UV|Heur".into(),
+            "CPU(s)|Heur".into(),
+        ],
+        vec![0, 0, 0, 1, 0, 0, 0, 3],
+    );
+    // Paper normalizes against the heuristic columns.
+    t.normalize(1, 5).normalize(3, 7).normalize(5, 5).normalize(7, 7);
+    for spec in args.suite() {
+        let netlist = spec.generate(args.seed);
+        let outcome = Router::new(spec.grid(), netlist, RouterConfig::full(kind)).run();
+        assert!(outcome.routed_all, "{}: unroutable", spec.name);
+        let problem = DviProblem::build(kind, &outcome.solution);
+        let heur = solve_heuristic(&problem, &DviParams::default());
+        let (ilp, stats) = solve_ilp_lazy(
+            &problem,
+            &LazyIlpOptions {
+                time_limit: Some(args.ilp_limit),
+                ..LazyIlpOptions::default()
+            },
+        );
+        let gap = (stats.best_bound - ilp.inserted_count() as i64).max(0);
+        eprintln!(
+            "  [{}] {}: ILP dv={} uv={} cpu={:.1}s (optimal={}, gap {}, rounds {}, cuts {}) |              heur dv={} uv={} cpu={:.3}s",
+            kind,
+            spec.name,
+            ilp.dead_via_count,
+            ilp.uncolorable_count,
+            ilp.runtime.as_secs_f64(),
+            stats.proven_optimal,
+            gap,
+            stats.rounds,
+            stats.cuts,
+            heur.dead_via_count,
+            heur.uncolorable_count,
+            heur.runtime.as_secs_f64()
+        );
+        t.row(vec![
+            text(spec.name),
+            num(ilp.dead_via_count as f64),
+            num(ilp.uncolorable_count as f64),
+            num(ilp.runtime.as_secs_f64()),
+            num(gap as f64),
+            num(heur.dead_via_count as f64),
+            num(heur.uncolorable_count as f64),
+            num(heur.runtime.as_secs_f64()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(gap = proven optimality gap of the branch-and-bound ILP at the time limit; \
+              0 means optimal)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = RunArgs::default();
+        assert_eq!(a.scale, 0.2);
+        assert_eq!(a.dvi_mode, DviMode::Heuristic);
+        assert_eq!(a.suite().len(), 6);
+    }
+
+    #[test]
+    fn suite_filter() {
+        let a = RunArgs {
+            circuits: Some(vec!["ecc".into(), "alu".into()]),
+            ..RunArgs::default()
+        };
+        let suite = a.suite();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].name, "ecc");
+    }
+
+    #[test]
+    fn tiny_arm_runs_end_to_end() {
+        let args = RunArgs {
+            scale: 0.01,
+            ..RunArgs::default()
+        };
+        let spec = BenchSpec::paper_suite()[0].scaled(args.scale);
+        let m = run_arm(&spec, RouterConfig::full(SadpKind::Sim), &args);
+        assert!(m.routed);
+        assert!(m.wl > 0);
+        assert_eq!(m.uv, 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! # bench-suite
+//!
+//! The experiment harness: one binary per table of the paper
+//! (`table1` … `table7`), plus Criterion micro-benches. This library
+//! holds the shared pieces — a tiny CLI parser, the per-arm runner
+//! (route → post-routing TPL-aware DVI → metrics), and aligned table
+//! rendering with the paper's `Ave.` / `Nor.` summary rows.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{run_arm, ArmMetrics, DviMode, RunArgs};
+pub use table::TableBuilder;

@@ -1,0 +1,240 @@
+//! Aligned ASCII tables with the paper's `Ave.` and `Nor.` summary
+//! rows.
+
+/// A cell value that participates in averages and normalization.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// A numeric value (averaged; normalized against the first
+    /// value-column group).
+    Num(f64),
+    /// Free text (circuit names etc.).
+    Text(String),
+}
+
+/// Builds a paper-style table: a text key column followed by numeric
+/// columns, with automatic `Ave.` and `Nor.` rows.
+///
+/// Normalization follows the paper: each numeric column's average is
+/// divided by the average of a chosen *reference column* (usually the
+/// same metric in the baseline group).
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+    /// For each numeric column index (0-based over all columns),
+    /// the column it normalizes against.
+    norm_ref: Vec<Option<usize>>,
+    decimals: Vec<usize>,
+}
+
+impl TableBuilder {
+    /// Creates a table with a title and column headers. `decimals[i]`
+    /// sets the printed precision of column `i` (text columns ignore
+    /// it).
+    pub fn new(title: impl Into<String>, headers: Vec<String>, decimals: Vec<usize>) -> Self {
+        let n = headers.len();
+        TableBuilder {
+            title: title.into(),
+            norm_ref: vec![None; n],
+            decimals,
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Declares that column `col` should show, in the `Nor.` row, its
+    /// average divided by column `reference`'s average.
+    pub fn normalize(&mut self, col: usize, reference: usize) -> &mut Self {
+        self.norm_ref[col] = Some(reference);
+        self
+    }
+
+    /// Adds a data row (one cell per column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the headers.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    fn averages(&self) -> Vec<Option<f64>> {
+        (0..self.headers.len())
+            .map(|c| {
+                let vals: Vec<f64> = self
+                    .rows
+                    .iter()
+                    .filter_map(|r| match &r[c] {
+                        Cell::Num(v) => Some(*v),
+                        Cell::Text(_) => None,
+                    })
+                    .collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let avgs = self.averages();
+        let mut body: Vec<Vec<String>> = Vec::new();
+        for r in &self.rows {
+            body.push(
+                r.iter()
+                    .enumerate()
+                    .map(|(c, cell)| match cell {
+                        Cell::Num(v) => format!("{:.*}", self.decimals.get(c).copied().unwrap_or(1), v),
+                        Cell::Text(t) => t.clone(),
+                    })
+                    .collect(),
+            );
+        }
+        // Ave. row.
+        let mut ave: Vec<String> = vec!["Ave.".to_string()];
+        for (c, avg) in avgs.iter().enumerate().skip(1) {
+            ave.push(match avg {
+                Some(v) => format!("{:.*}", self.decimals.get(c).copied().unwrap_or(1).max(1), v),
+                None => String::new(),
+            });
+        }
+        body.push(ave);
+        // Nor. row.
+        if self.norm_ref.iter().any(Option::is_some) {
+            let mut nor: Vec<String> = vec!["Nor.".to_string()];
+            for c in 1..self.headers.len() {
+                nor.push(match (self.norm_ref[c], avgs[c]) {
+                    (Some(rf), Some(v)) => match avgs[rf] {
+                        Some(base) if base.abs() > 1e-12 => format!("{:.2}", v / base),
+                        _ => String::new(),
+                    },
+                    _ => String::new(),
+                });
+            }
+            body.push(nor);
+        }
+
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &body {
+            for (c, cell) in r.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        out.push_str(&sep);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!(" {:>width$} ", s, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.headers.to_vec()));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        let n = body.len();
+        for (i, r) in body.iter().enumerate() {
+            if i + 2 == n + 1 {
+                // separator before Ave.
+            }
+            if i == self.rows.len() {
+                out.push_str(&sep);
+                out.push('\n');
+            }
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+/// Shorthand for a text cell.
+pub fn text(s: impl Into<String>) -> Cell {
+    Cell::Text(s.into())
+}
+
+/// Shorthand for a numeric cell.
+pub fn num(v: f64) -> Cell {
+    Cell::Num(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_ave_and_nor() {
+        let mut t = TableBuilder::new(
+            "demo",
+            vec!["CKT".into(), "WL".into(), "WL2".into()],
+            vec![0, 0, 0],
+        );
+        t.normalize(1, 1).normalize(2, 1);
+        t.row(vec![text("a"), num(10.0), num(20.0)]);
+        t.row(vec![text("b"), num(30.0), num(40.0)]);
+        let s = t.render();
+        assert!(s.contains("Ave."));
+        assert!(s.contains("Nor."));
+        assert!(s.contains("1.50"), "normalized 30/20: {s}");
+        assert!(s.contains("1.00"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = TableBuilder::new("x", vec!["a".into(), "b".into()], vec![0, 0]);
+        t.row(vec![text("only-one")]);
+    }
+
+    #[test]
+    fn normalization_against_zero_base_is_blank() {
+        let mut t = TableBuilder::new(
+            "demo",
+            vec!["CKT".into(), "A".into(), "B".into()],
+            vec![0, 0, 0],
+        );
+        t.normalize(2, 1);
+        t.row(vec![text("a"), num(0.0), num(5.0)]);
+        let s = t.render();
+        // Dividing by a zero average must not print inf/NaN.
+        assert!(!s.contains("inf") && !s.contains("NaN"), "{s}");
+    }
+
+    #[test]
+    fn decimals_control_precision() {
+        let mut t = TableBuilder::new(
+            "demo",
+            vec!["CKT".into(), "X".into()],
+            vec![0, 3],
+        );
+        t.row(vec![text("a"), num(1.23456)]);
+        assert!(t.render().contains("1.235"));
+    }
+
+    #[test]
+    fn averages_skip_text() {
+        let mut t = TableBuilder::new(
+            "demo",
+            vec!["CKT".into(), "V".into()],
+            vec![0, 0],
+        );
+        t.row(vec![text("a"), num(1.0)]);
+        t.row(vec![text("b"), num(3.0)]);
+        assert_eq!(t.averages()[1], Some(2.0));
+        assert_eq!(t.averages()[0], None);
+    }
+}

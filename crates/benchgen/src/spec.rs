@@ -1,0 +1,372 @@
+//! Benchmark specifications and the seeded netlist generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sadp_grid::{Net, Netlist, Pin, RoutingGrid};
+use std::collections::HashSet;
+
+/// Minimum Chebyshev spacing between any two pins, in tracks. Three
+/// tracks puts every pin-via pair beyond the same-color via pitch.
+pub const PIN_SPACING: i32 = 3;
+
+/// One benchmark circuit: name, net count, and grid size (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchSpec {
+    /// Circuit name.
+    pub name: &'static str,
+    /// Number of nets.
+    pub nets: usize,
+    /// Grid width (vertical tracks).
+    pub width: i32,
+    /// Grid height (horizontal tracks).
+    pub height: i32,
+}
+
+impl BenchSpec {
+    /// The six circuits of Table I with their exact statistics.
+    pub fn paper_suite() -> [BenchSpec; 6] {
+        [
+            BenchSpec { name: "ecc", nets: 1671, width: 436, height: 446 },
+            BenchSpec { name: "efc", nets: 2219, width: 406, height: 421 },
+            BenchSpec { name: "ctl", nets: 2706, width: 496, height: 503 },
+            BenchSpec { name: "alu", nets: 3108, width: 406, height: 408 },
+            BenchSpec { name: "div", nets: 5813, width: 636, height: 646 },
+            BenchSpec { name: "top", nets: 22201, width: 1176, height: 1179 },
+        ]
+    }
+
+    /// A spec scaled to `factor` of the net count, with the grid
+    /// shrunk by `sqrt(factor)` so routing density stays comparable.
+    /// Useful for quick experiment runs (`--scale`).
+    pub fn scaled(&self, factor: f64) -> BenchSpec {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        if factor >= 1.0 {
+            return *self;
+        }
+        let lin = factor.sqrt();
+        BenchSpec {
+            name: self.name,
+            nets: ((self.nets as f64 * factor).round() as usize).max(1),
+            width: ((self.width as f64 * lin).round() as i32).max(24),
+            height: ((self.height as f64 * lin).round() as i32).max(24),
+        }
+    }
+
+    /// The routing grid of this spec (three layers, M1 pins only).
+    pub fn grid(&self) -> RoutingGrid {
+        RoutingGrid::three_layer(self.width, self.height)
+    }
+
+    /// Generates the placed netlist deterministically from `seed`.
+    ///
+    /// Net sizes follow 60% two-pin / 25% three-pin / 10% four-pin /
+    /// 5% five-pin; net spans are mostly local (up to ~30 tracks)
+    /// with a 10% tail of up to a quarter of the die. If the die
+    /// fills up (pin spacing cannot be honored), the net count is
+    /// silently reduced — this never happens for the paper densities.
+    pub fn generate(&self, seed: u64) -> Netlist {
+        let mut rng = SmallRng::seed_from_u64(seed ^ hash_name(self.name));
+        let mut used: HashSet<(i32, i32)> = HashSet::new();
+        let mut netlist = Netlist::new();
+        let margin = 2i32;
+        'nets: for k in 0..self.nets {
+            for _attempt in 0..200 {
+                let pin_count = match rng.gen_range(0..100) {
+                    0..=59 => 2,
+                    60..=84 => 3,
+                    85..=94 => 4,
+                    _ => 5,
+                };
+                // Span: local by default, global tail.
+                let local_cap = 30.min(self.width.min(self.height) / 2).max(8);
+                let span = if rng.gen_range(0..100) < 10 {
+                    rng.gen_range(local_cap..=(self.width.min(self.height) / 4).max(local_cap + 1))
+                } else {
+                    rng.gen_range(4..=local_cap)
+                };
+                let cx = rng.gen_range(margin..(self.width - margin - 1).max(margin + 1));
+                let cy = rng.gen_range(margin..(self.height - margin - 1).max(margin + 1));
+                if let Some(pins) =
+                    place_pins(&mut rng, &used, self, cx, cy, span, pin_count)
+                {
+                    for &p in &pins {
+                        used.insert((p.x, p.y));
+                    }
+                    netlist.push(Net::new(format!("{}_{k}", self.name), pins));
+                    continue 'nets;
+                }
+            }
+            // Die full: stop early (documented behavior).
+            break;
+        }
+        netlist
+    }
+}
+
+impl BenchSpec {
+    /// Generates a datapath-style variant of the netlist: a fraction
+    /// of the nets form parallel buses (groups of equal-length nets on
+    /// consecutive tracks), the rest follow the standard random-logic
+    /// mixture. Bus routing concentrates vias in columns, stressing
+    /// the TPL machinery harder than the random-logic distribution.
+    pub fn generate_bus_style(&self, seed: u64, bus_fraction: f64) -> Netlist {
+        assert!((0.0..=1.0).contains(&bus_fraction));
+        let mut rng = SmallRng::seed_from_u64(seed ^ hash_name(self.name) ^ 0xB05);
+        let mut used: HashSet<(i32, i32)> = HashSet::new();
+        let mut netlist = Netlist::new();
+        let bus_nets = (self.nets as f64 * bus_fraction) as usize;
+        let mut attempts = 0usize;
+        // Buses: groups of up to 8 bits, PIN_SPACING tracks apart.
+        'buses: while netlist.len() < bus_nets && attempts < 50 * self.nets.max(10) {
+            attempts += 1;
+            let bits = (2 + rng.gen_range(0..7)).min(bus_nets - netlist.len());
+            let len = rng.gen_range(8..(self.width / 2).max(9));
+            let x0 = rng.gen_range(2..(self.width - len - 2).max(3));
+            let y0 = rng.gen_range(2..(self.height - PIN_SPACING * bits as i32 - 2).max(3));
+            // Reserve both endpoints of every bit.
+            let mut pins = Vec::new();
+            for b in 0..bits as i32 {
+                let y = y0 + b * PIN_SPACING;
+                for x in [x0, x0 + len] {
+                    let clear = (-(PIN_SPACING - 1)..PIN_SPACING).all(|dx| {
+                        (-(PIN_SPACING - 1)..PIN_SPACING)
+                            .all(|dy| !used.contains(&(x + dx, y + dy)))
+                    });
+                    if !clear {
+                        continue 'buses;
+                    }
+                    pins.push((x, y));
+                }
+            }
+            for &(x, y) in &pins {
+                used.insert((x, y));
+            }
+            for (b, pair) in pins.chunks(2).enumerate() {
+                netlist.push(Net::new(
+                    format!("{}_bus{}_{}", self.name, netlist.len(), b),
+                    vec![Pin::new(pair[0].0, pair[0].1), Pin::new(pair[1].0, pair[1].1)],
+                ));
+            }
+        }
+        // Fill the rest with the standard mixture.
+        let remaining = BenchSpec {
+            nets: self.nets - netlist.len(),
+            ..*self
+        };
+        let mut filler = remaining.generate_with_used(seed, &mut used);
+        for (_, net) in filler.iter() {
+            netlist.push(net.clone());
+        }
+        let _ = &mut filler;
+        netlist
+    }
+
+    /// Standard generation continuing from an existing pin-occupancy
+    /// set (shared by the bus-style generator).
+    fn generate_with_used(&self, seed: u64, used: &mut HashSet<(i32, i32)>) -> Netlist {
+        let mut rng = SmallRng::seed_from_u64(seed ^ hash_name(self.name));
+        let mut netlist = Netlist::new();
+        let margin = 2i32;
+        'nets: for k in 0..self.nets {
+            for _attempt in 0..200 {
+                let pin_count = match rng.gen_range(0..100) {
+                    0..=59 => 2,
+                    60..=84 => 3,
+                    85..=94 => 4,
+                    _ => 5,
+                };
+                let local_cap = 30.min(self.width.min(self.height) / 2).max(8);
+                let span = if rng.gen_range(0..100) < 10 {
+                    rng.gen_range(local_cap..=(self.width.min(self.height) / 4).max(local_cap + 1))
+                } else {
+                    rng.gen_range(4..=local_cap)
+                };
+                let cx = rng.gen_range(margin..(self.width - margin - 1).max(margin + 1));
+                let cy = rng.gen_range(margin..(self.height - margin - 1).max(margin + 1));
+                if let Some(pins) = place_pins(&mut rng, used, self, cx, cy, span, pin_count) {
+                    for &p in &pins {
+                        used.insert((p.x, p.y));
+                    }
+                    netlist.push(Net::new(format!("{}_{k}", self.name), pins));
+                    continue 'nets;
+                }
+            }
+            break;
+        }
+        netlist
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so every circuit gets a distinct deterministic stream.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn place_pins(
+    rng: &mut SmallRng,
+    used: &HashSet<(i32, i32)>,
+    spec: &BenchSpec,
+    cx: i32,
+    cy: i32,
+    span: i32,
+    pin_count: usize,
+) -> Option<Vec<Pin>> {
+    let margin = 2i32;
+    let x0 = (cx - span / 2).max(margin);
+    let y0 = (cy - span / 2).max(margin);
+    let x1 = (cx + span / 2).min(spec.width - 1 - margin);
+    let y1 = (cy + span / 2).min(spec.height - 1 - margin);
+    if x1 <= x0 || y1 <= y0 {
+        return None;
+    }
+    let mut pins: Vec<Pin> = Vec::with_capacity(pin_count);
+    let mut fresh: Vec<(i32, i32)> = Vec::new();
+    'pins: for _ in 0..pin_count {
+        for _try in 0..60 {
+            let x = rng.gen_range(x0..=x1);
+            let y = rng.gen_range(y0..=y1);
+            let clear = |set: &HashSet<(i32, i32)>| {
+                for dx in -(PIN_SPACING - 1)..PIN_SPACING {
+                    for dy in -(PIN_SPACING - 1)..PIN_SPACING {
+                        if set.contains(&(x + dx, y + dy)) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            };
+            let local: HashSet<(i32, i32)> = fresh.iter().copied().collect();
+            if clear(used) && clear(&local) {
+                pins.push(Pin::new(x, y));
+                fresh.push((x, y));
+                continue 'pins;
+            }
+        }
+        return None;
+    }
+    Some(pins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_matches_table_i() {
+        let suite = BenchSpec::paper_suite();
+        assert_eq!(suite.len(), 6);
+        assert_eq!(suite[0].name, "ecc");
+        assert_eq!(suite[5].nets, 22201);
+        assert_eq!(suite[5].width, 1176);
+        assert_eq!(suite[4].height, 646);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = BenchSpec::paper_suite()[0].scaled(0.02);
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a, b);
+        let c = spec.generate(8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn respects_pin_spacing() {
+        let spec = BenchSpec::paper_suite()[1].scaled(0.05);
+        let nl = spec.generate(1);
+        let mut pins: Vec<(i32, i32)> = Vec::new();
+        for (_, net) in nl.iter() {
+            for p in net.pins() {
+                pins.push((p.x, p.y));
+            }
+        }
+        for i in 0..pins.len() {
+            for j in (i + 1)..pins.len() {
+                let dx = (pins[i].0 - pins[j].0).abs();
+                let dy = (pins[i].1 - pins[j].1).abs();
+                assert!(
+                    dx.max(dy) >= PIN_SPACING,
+                    "pins too close: {:?} {:?}",
+                    pins[i],
+                    pins[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pins_inside_grid() {
+        let spec = BenchSpec::paper_suite()[2].scaled(0.03);
+        let nl = spec.generate(3);
+        let grid = spec.grid();
+        for (_, net) in nl.iter() {
+            for p in net.pins() {
+                assert!(grid.in_bounds_xy(p.x, p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn net_size_distribution_is_sane() {
+        let spec = BenchSpec { name: "t", nets: 400, width: 300, height: 300 };
+        let nl = spec.generate(11);
+        assert_eq!(nl.len(), 400);
+        let two = nl.iter().filter(|(_, n)| n.pins().len() == 2).count();
+        let five = nl.iter().filter(|(_, n)| n.pins().len() == 5).count();
+        assert!(two > 150, "expected mostly 2-pin nets, got {two}");
+        assert!(five < 60);
+    }
+
+    #[test]
+    fn bus_style_generates_buses() {
+        let spec = BenchSpec { name: "dp", nets: 200, width: 200, height: 200 };
+        let nl = spec.generate_bus_style(5, 0.5);
+        assert_eq!(nl.len(), 200);
+        let bus_count = nl.iter().filter(|(_, n)| n.name().contains("_bus")).count();
+        assert!(bus_count >= 80, "expected ~100 bus nets, got {bus_count}");
+        // Bus bits are horizontal 2-pin nets.
+        for (_, n) in nl.iter() {
+            if n.name().contains("_bus") {
+                assert_eq!(n.pins().len(), 2);
+                assert_eq!(n.pins()[0].y, n.pins()[1].y);
+            }
+        }
+        // Determinism and pin spacing hold.
+        assert_eq!(nl, spec.generate_bus_style(5, 0.5));
+        let mut pins: Vec<(i32, i32)> = Vec::new();
+        for (_, net) in nl.iter() {
+            for p in net.pins() {
+                pins.push((p.x, p.y));
+            }
+        }
+        for i in 0..pins.len() {
+            for j in (i + 1)..pins.len() {
+                let dx = (pins[i].0 - pins[j].0).abs();
+                let dy = (pins[i].1 - pins[j].1).abs();
+                assert!(dx.max(dy) >= PIN_SPACING);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_consistently() {
+        let spec = BenchSpec::paper_suite()[5];
+        let s = spec.scaled(0.25);
+        assert_eq!(s.nets, (spec.nets as f64 * 0.25).round() as usize);
+        assert!((s.width as f64 - spec.width as f64 * 0.5).abs() < 2.0);
+        let full = spec.scaled(1.0);
+        assert_eq!(full, spec);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scaled_rejects_zero() {
+        let _ = BenchSpec::paper_suite()[0].scaled(0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Routing cost parameters and the cost-assignment scheme of
+//! Algorithm 1.
+//!
+//! All costs are integers in milli-units of the base wire cost
+//! ([`SCALE`]), so fractional penalties like `α / |feasible DVICs|`
+//! stay exact enough while Dijkstra keeps a total order.
+
+/// Fixed-point scale: one base wire step costs `SCALE`.
+pub const SCALE: i64 = 1000;
+
+/// All tunable routing costs. The DVI/TPL parameters default to the
+/// paper's Table II values (α = 8, AMC = 1, β = 4, γ = 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostParams {
+    /// Block-DVIC weight α: penalty `α / |feasible DVICs|` on routing
+    /// resources that would destroy a routed via's DVI candidate.
+    pub alpha: i64,
+    /// Along-metal cost (constant): penalty on via locations adjacent
+    /// to routed metal.
+    pub amc: i64,
+    /// Conflict-DVIC weight β: penalty `β / |feasible DVICs|` on via
+    /// locations whose DVICs would conflict with a routed via's.
+    pub beta: i64,
+    /// TPL weight γ: penalty `γ × #coloring-conflicts` on via
+    /// locations within the same-color pitch of routed vias.
+    pub gamma: i64,
+    /// Base cost of one wire step in the preferred direction
+    /// (in [`SCALE`] units of 1).
+    pub wire_base: i64,
+    /// Multiplier for a wire step in the non-preferred direction
+    /// (restricted routing strongly discourages it).
+    pub non_preferred_mult: i64,
+    /// Base cost of a via.
+    pub via_base: i64,
+    /// Penalty of a non-preferred turn.
+    pub non_preferred_turn: i64,
+    /// Usage (present-sharing) cost per other net on a grid point.
+    pub usage: i64,
+    /// History-cost increment applied to a congested resource per
+    /// rip-up iteration.
+    pub history_increment: i64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            alpha: 8,
+            amc: 1,
+            beta: 4,
+            gamma: 4,
+            wire_base: 1,
+            non_preferred_mult: 2,
+            via_base: 2,
+            non_preferred_turn: 1,
+            usage: 8,
+            history_increment: 2,
+        }
+    }
+}
+
+impl CostParams {
+    /// The conference-version parameter set (ref. \[36\]): the journal paper
+    /// "enlarges the parameters used in the cost assignment scheme to
+    /// emphasize DVI" — so the conference set halves α and β.
+    pub fn conference() -> CostParams {
+        CostParams {
+            alpha: 4,
+            beta: 2,
+            ..CostParams::default()
+        }
+    }
+
+    /// Scaled block-DVIC cost for a via with `feasible` DVI candidates.
+    pub fn bdc(&self, feasible: usize) -> i64 {
+        self.alpha * SCALE / feasible.max(1) as i64
+    }
+
+    /// Scaled conflict-DVIC cost for a via with `feasible` candidates.
+    pub fn cdc(&self, feasible: usize) -> i64 {
+        self.beta * SCALE / feasible.max(1) as i64
+    }
+
+    /// Scaled along-metal cost.
+    pub fn amc_cost(&self) -> i64 {
+        self.amc * SCALE
+    }
+
+    /// Scaled TPL cost for a location with `conflicts` coloring
+    /// conflicts.
+    pub fn tplc(&self, conflicts: i64) -> i64 {
+        self.gamma * SCALE * conflicts
+    }
+
+    /// Scaled cost of one wire step.
+    pub fn wire_step(&self, preferred: bool) -> i64 {
+        if preferred {
+            self.wire_base * SCALE
+        } else {
+            self.wire_base * self.non_preferred_mult * SCALE
+        }
+    }
+
+    /// Scaled via cost.
+    pub fn via_step(&self) -> i64 {
+        self.via_base * SCALE
+    }
+
+    /// Scaled non-preferred-turn penalty.
+    pub fn turn_penalty(&self) -> i64 {
+        self.non_preferred_turn * SCALE
+    }
+
+    /// Scaled usage cost for `others` other nets on a point.
+    pub fn usage_cost(&self, others: usize) -> i64 {
+        self.usage * SCALE * others as i64
+    }
+
+    /// Scaled history increment.
+    pub fn history_step(&self) -> i64 {
+        self.history_increment * SCALE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let p = CostParams::default();
+        assert_eq!(p.alpha, 8);
+        assert_eq!(p.amc, 1);
+        assert_eq!(p.beta, 4);
+        assert_eq!(p.gamma, 4);
+    }
+
+    #[test]
+    fn conference_params_are_smaller() {
+        let c = CostParams::conference();
+        let d = CostParams::default();
+        assert!(c.alpha < d.alpha);
+        assert!(c.beta < d.beta);
+        assert_eq!(c.gamma, d.gamma);
+    }
+
+    #[test]
+    fn bdc_scales_inversely_with_feasibility() {
+        let p = CostParams::default();
+        assert_eq!(p.bdc(1), 8 * SCALE);
+        assert_eq!(p.bdc(4), 2 * SCALE);
+        assert!(p.bdc(1) > p.bdc(4));
+        // Degenerate zero-feasible is clamped.
+        assert_eq!(p.bdc(0), 8 * SCALE);
+    }
+
+    #[test]
+    fn step_costs_are_ordered() {
+        let p = CostParams::default();
+        assert!(p.wire_step(false) > p.wire_step(true));
+        assert!(p.via_step() > p.wire_step(true));
+        assert!(p.usage_cost(2) == 2 * p.usage_cost(1));
+        assert_eq!(p.usage_cost(0), 0);
+    }
+
+    #[test]
+    fn tplc_grows_with_conflicts() {
+        let p = CostParams::default();
+        assert_eq!(p.tplc(0), 0);
+        assert_eq!(p.tplc(3), 12 * SCALE);
+    }
+}

@@ -1,0 +1,244 @@
+//! The overall flow (paper Fig. 8): routing-graph modeling →
+//! independent routing iterations with cost assignment → negotiated
+//! congestion R&R → via-layer TPL violation removal R&R →
+//! 3-colorability check → done.
+
+use std::time::{Duration, Instant};
+
+use sadp_grid::{Netlist, RoutingGrid, RoutingSolution, SadpKind, SolutionStats};
+
+use crate::costs::CostParams;
+use crate::rnr::{ensure_colorable, initial_routing, negotiate_congestion, tpl_violation_removal,
+                 RnrStats};
+use crate::state::RouterState;
+
+/// Configuration of one routing run — the four experiment arms of the
+/// paper's Tables III/IV are spanned by `consider_dvi` ×
+/// `consider_tpl`.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// SADP process for the metal layers.
+    pub sadp: SadpKind,
+    /// Apply the DVI cost assignment (BDC / AMC / CDC).
+    pub consider_dvi: bool,
+    /// Apply the TPL cost assignment (TPLC) and run the FVP-removal
+    /// R&R phase.
+    pub consider_tpl: bool,
+    /// Cost parameters (Table II).
+    pub params: CostParams,
+    /// Iteration cap for the congestion R&R phase (0 = auto from
+    /// netlist size).
+    pub max_congestion_iters: usize,
+    /// Iteration cap for the TPL R&R phase (0 = auto).
+    pub max_tpl_iters: usize,
+    /// Attempts of the final coloring-fix loop.
+    pub coloring_attempts: usize,
+}
+
+impl RouterConfig {
+    /// Plain SADP-aware routing (the baseline arm).
+    pub fn baseline(sadp: SadpKind) -> RouterConfig {
+        RouterConfig {
+            sadp,
+            consider_dvi: false,
+            consider_tpl: false,
+            params: CostParams::default(),
+            max_congestion_iters: 0,
+            max_tpl_iters: 0,
+            coloring_attempts: 3,
+        }
+    }
+
+    /// Baseline + DVI consideration ("Consider DVI").
+    pub fn with_dvi(sadp: SadpKind) -> RouterConfig {
+        RouterConfig {
+            consider_dvi: true,
+            ..RouterConfig::baseline(sadp)
+        }
+    }
+
+    /// Baseline + via-layer TPL ("Consider via layer TPL").
+    pub fn with_tpl(sadp: SadpKind) -> RouterConfig {
+        RouterConfig {
+            consider_tpl: true,
+            ..RouterConfig::baseline(sadp)
+        }
+    }
+
+    /// Both considerations ("Consider DVI & via layer TPL").
+    pub fn full(sadp: SadpKind) -> RouterConfig {
+        RouterConfig {
+            consider_dvi: true,
+            consider_tpl: true,
+            ..RouterConfig::baseline(sadp)
+        }
+    }
+}
+
+/// Result of a routing run with the paper's quality flags.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// The final solution.
+    pub solution: RoutingSolution,
+    /// Wirelength / via / net statistics (WL and #Vias columns).
+    pub stats: SolutionStats,
+    /// Every net routed (the paper reports 100% routability).
+    pub routed_all: bool,
+    /// No two nets share a routing resource.
+    pub congestion_free: bool,
+    /// No forbidden via pattern remains on any via layer.
+    pub fvp_free: bool,
+    /// Every via-layer decomposition graph is 3-colorable
+    /// (Welsh–Powell / exact verification).
+    pub colorable: bool,
+    /// Wall-clock routing time (the CPU column).
+    pub runtime: Duration,
+    /// Congestion-phase counters.
+    pub congestion_stats: RnrStats,
+    /// TPL-phase counters.
+    pub tpl_stats: RnrStats,
+}
+
+/// The SADP-aware detailed router.
+///
+/// See the crate docs for the flow; construct with a grid, a placed
+/// netlist, and a [`RouterConfig`], then call [`Router::run`].
+#[derive(Debug)]
+pub struct Router {
+    grid: RoutingGrid,
+    netlist: Netlist,
+    config: RouterConfig,
+}
+
+impl Router {
+    /// Creates a router for one netlist.
+    pub fn new(grid: RoutingGrid, netlist: Netlist, config: RouterConfig) -> Router {
+        Router {
+            grid,
+            netlist,
+            config,
+        }
+    }
+
+    /// The netlist being routed.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Runs the full flow and returns the outcome.
+    pub fn run(self) -> RoutingOutcome {
+        let start = Instant::now();
+        let cfg = self.config;
+        let auto_cap = 60 * self.netlist.len() + 2000;
+        let cong_cap = if cfg.max_congestion_iters == 0 {
+            auto_cap
+        } else {
+            cfg.max_congestion_iters
+        };
+        let tpl_cap = if cfg.max_tpl_iters == 0 { auto_cap } else { cfg.max_tpl_iters };
+
+        let mut state = RouterState::new(
+            self.grid,
+            &self.netlist,
+            cfg.sadp,
+            cfg.params,
+            cfg.consider_dvi,
+            cfg.consider_tpl,
+        );
+        let failed = initial_routing(&mut state, &self.netlist);
+        let (mut congestion_free, congestion_stats) =
+            negotiate_congestion(&mut state, &self.netlist, cong_cap);
+
+        let mut tpl_stats = RnrStats::default();
+        let colorable;
+        if cfg.consider_tpl {
+            let (clean, stats) = tpl_violation_removal(&mut state, &self.netlist, tpl_cap);
+            tpl_stats = stats;
+            congestion_free = clean || state.congested_points().is_empty();
+            colorable = ensure_colorable(&mut state, &self.netlist, cfg.coloring_attempts);
+        } else {
+            // Report-only: check colorability without fixing.
+            colorable = crate::audit::via_layers_colorable(&state);
+        }
+        let fvp_free = (0..state.grid.via_layer_count())
+            .all(|vl| state.fvp[vl as usize].fvp_windows().is_empty());
+
+        let stats = state.solution.stats();
+        RoutingOutcome {
+            solution: state.solution,
+            stats,
+            routed_all: failed.is_empty(),
+            congestion_free,
+            fvp_free,
+            colorable,
+            runtime: start.elapsed(),
+            congestion_stats,
+            tpl_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_grid::{Net, Pin};
+
+    fn small_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(4, 4), Pin::new(16, 4)]));
+        nl.push(Net::new("b", vec![Pin::new(4, 8), Pin::new(16, 12)]));
+        nl.push(Net::new("c", vec![Pin::new(8, 4), Pin::new(8, 16)]));
+        nl.push(Net::new("d", vec![Pin::new(6, 6), Pin::new(14, 14), Pin::new(6, 14)]));
+        nl
+    }
+
+    #[test]
+    fn full_flow_produces_clean_solution() {
+        for kind in SadpKind::ALL {
+            let out = Router::new(
+                RoutingGrid::three_layer(24, 24),
+                small_netlist(),
+                RouterConfig::full(kind),
+            )
+            .run();
+            assert!(out.routed_all, "{kind}: not all routed");
+            assert!(out.congestion_free, "{kind}: congested");
+            assert!(out.fvp_free, "{kind}: FVPs remain");
+            assert!(out.colorable, "{kind}: uncolorable");
+            assert!(out.stats.wirelength > 0);
+            assert!(out.solution.shorts().is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_flow_routes_everything() {
+        let out = Router::new(
+            RoutingGrid::three_layer(24, 24),
+            small_netlist(),
+            RouterConfig::baseline(SadpKind::Sim),
+        )
+        .run();
+        assert!(out.routed_all);
+        assert!(out.congestion_free);
+    }
+
+    #[test]
+    fn router_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Router>();
+        assert_send_sync::<RouterConfig>();
+        assert_send_sync::<RoutingOutcome>();
+    }
+
+    #[test]
+    fn config_arms_differ() {
+        let base = RouterConfig::baseline(SadpKind::Sim);
+        let dvi = RouterConfig::with_dvi(SadpKind::Sim);
+        let tpl = RouterConfig::with_tpl(SadpKind::Sim);
+        let full = RouterConfig::full(SadpKind::Sim);
+        assert!(!base.consider_dvi && !base.consider_tpl);
+        assert!(dvi.consider_dvi && !dvi.consider_tpl);
+        assert!(!tpl.consider_dvi && tpl.consider_tpl);
+        assert!(full.consider_dvi && full.consider_tpl);
+    }
+}

@@ -1,0 +1,480 @@
+//! Rip-up and reroute: negotiated congestion (PathFinder-style) and
+//! the via-layer TPL violation removal of Algorithm 2, plus the final
+//! 3-colorability check with R&R fallback.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use sadp_grid::{GridPoint, NetId, Netlist, Via};
+use tpl_decomp::{exact_color, welsh_powell, DecompGraph};
+
+use crate::dijkstra::route_net;
+use crate::state::RouterState;
+
+/// Counters reported by the R&R phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RnrStats {
+    /// Violations processed.
+    pub iterations: usize,
+    /// Nets ripped and rerouted.
+    pub reroutes: usize,
+    /// Reroutes that failed (old route reinstalled).
+    pub failures: usize,
+}
+
+/// Map from pin location to the nets pinned there.
+fn pin_map(netlist: &Netlist) -> HashMap<(i32, i32), Vec<NetId>> {
+    let mut map: HashMap<(i32, i32), Vec<NetId>> = HashMap::new();
+    for (id, net) in netlist.iter() {
+        for p in net.pins() {
+            map.entry((p.x, p.y)).or_default().push(id);
+        }
+    }
+    map
+}
+
+/// Routes every net once, in increasing-HPWL order. Returns the nets
+/// that could not be routed at all (normally empty).
+pub fn initial_routing(state: &mut RouterState, netlist: &Netlist) -> Vec<NetId> {
+    let mut order: Vec<NetId> = netlist.iter().map(|(id, _)| id).collect();
+    order.sort_by_key(|&id| (netlist[id].hpwl(), id));
+    let mut failed = Vec::new();
+    for id in order {
+        match route_net(state, id, &netlist[id]) {
+            Some(route) => state.install_route(id, route),
+            None => failed.push(id),
+        }
+    }
+    failed
+}
+
+/// Rips and reroutes `id`, reinstalling the old route when no new one
+/// is found. Returns `true` on a successful reroute.
+fn reroute(state: &mut RouterState, netlist: &Netlist, id: NetId) -> bool {
+    let Some(old) = state.uninstall_route(id) else {
+        return false;
+    };
+    match route_net(state, id, &netlist[id]) {
+        Some(new_route) => {
+            state.install_route(id, new_route);
+            true
+        }
+        None => {
+            // Retry once without blocked-via enforcement (safety
+            // valve; any new FVP re-enters the queue).
+            let was = state.enforce_blocked;
+            state.enforce_blocked = false;
+            let retry = route_net(state, id, &netlist[id]);
+            state.enforce_blocked = was;
+            match retry {
+                Some(new_route) => {
+                    state.install_route(id, new_route);
+                    true
+                }
+                None => {
+                    state.install_route(id, old);
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Picks the net to rip at a congested point: rotate among distinct
+/// owners that are not merely pinned there (pins cannot move).
+fn rip_candidate_at(
+    state: &RouterState,
+    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    p: GridPoint,
+    rotation: usize,
+) -> Option<NetId> {
+    let owners = state.owners_of(p);
+    if owners.len() < 2 {
+        return None; // stale
+    }
+    let first_routing = state.grid.first_routing_layer();
+    let candidates: Vec<NetId> = owners
+        .into_iter()
+        .filter(|id| {
+            // A net pinned at (x, y) covering only the pad cannot be
+            // helped by rerouting if the overlap *is* the pad and the
+            // point is on/below the first routing layer... but its
+            // wire may also pass here; rerouting is still the only
+            // lever, except for pure pin pads which every route of
+            // that net must touch. Exclude nets pinned exactly here.
+            !(p.layer <= first_routing
+                && pins.get(&(p.x, p.y)).is_some_and(|v| v.contains(id)))
+        })
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rotation % candidates.len()])
+    }
+}
+
+/// Negotiated-congestion R&R: resolves shared routing resources until
+/// the solution is overlap-free or the iteration cap is hit.
+///
+/// Returns `(congestion_free, stats)`.
+pub fn negotiate_congestion(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    max_iters: usize,
+) -> (bool, RnrStats) {
+    let pins = pin_map(netlist);
+    let mut stats = RnrStats::default();
+    let mut queue: VecDeque<GridPoint> = state.congested_points().into();
+    let mut rotation = 0usize;
+    while let Some(p) = queue.pop_front() {
+        if stats.iterations >= max_iters {
+            break;
+        }
+        let Some(victim) = rip_candidate_at(state, &pins, p, rotation) else {
+            continue;
+        };
+        rotation += 1;
+        stats.iterations += 1;
+        state.bump_history(p);
+        if reroute(state, netlist, victim) {
+            stats.reroutes += 1;
+        } else {
+            stats.failures += 1;
+        }
+        // Re-examine: overlaps of the new route, and this point if
+        // still congested.
+        if let Some(route) = state.solution.route(victim) {
+            let mut pts: Vec<GridPoint> = route.covered_points().into_iter().collect();
+            pts.sort_unstable();
+            for q in pts {
+                if state.owners_of(q).len() > 1 {
+                    queue.push_back(q);
+                }
+            }
+        }
+        if state.owners_of(p).len() > 1 {
+            queue.push_back(p);
+        }
+    }
+    (state.congested_points().is_empty(), stats)
+}
+
+/// A violation processed by the Algorithm 2 priority queue.
+/// Congestion outranks FVPs (it is always resolved first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Violation {
+    /// A metal point with more than one owner. (Rank 0: highest.)
+    Congestion(GridPoint),
+    /// An FVP window `(via layer, origin)`.
+    Fvp(u8, (i32, i32)),
+}
+
+impl Violation {
+    fn rank(&self) -> u8 {
+        match self {
+            Violation::Congestion(_) => 0,
+            Violation::Fvp(..) => 1,
+        }
+    }
+}
+
+/// Via-layer TPL violation removal based R&R (Algorithm 2): blocks
+/// via locations that would create FVPs, then rips and reroutes nets
+/// until all FVPs (and any congestion) are gone.
+///
+/// Returns `(clean, stats)` where clean means congestion-free and
+/// FVP-free.
+pub fn tpl_violation_removal(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    max_iters: usize,
+) -> (bool, RnrStats) {
+    let pins = pin_map(netlist);
+    state.enforce_blocked = true;
+    state.refresh_all_blocked();
+
+    let mut stats = RnrStats::default();
+    let mut seq = 0u64;
+    let mut heap: BinaryHeap<Reverse<(u8, u64, Violation)>> = BinaryHeap::new();
+    let push = |heap: &mut BinaryHeap<Reverse<(u8, u64, Violation)>>,
+                    seq: &mut u64,
+                    v: Violation| {
+        *seq += 1;
+        heap.push(Reverse((v.rank(), *seq, v)));
+    };
+    for p in state.congested_points() {
+        push(&mut heap, &mut seq, Violation::Congestion(p));
+    }
+    for vl in 0..state.grid.via_layer_count() {
+        let mut windows: Vec<(i32, i32)> =
+            state.fvp[vl as usize].fvp_windows().iter().copied().collect();
+        windows.sort_unstable();
+        for w in windows {
+            push(&mut heap, &mut seq, Violation::Fvp(vl, w));
+        }
+    }
+
+    let mut rotation = 0usize;
+    while let Some(Reverse((_, _, viol))) = heap.pop() {
+        if stats.iterations >= max_iters {
+            break;
+        }
+        // Stale-entry check and victim selection.
+        let victim = match viol {
+            Violation::Congestion(p) => {
+                let Some(v) = rip_candidate_at(state, &pins, p, rotation) else {
+                    continue;
+                };
+                state.bump_history(p);
+                v
+            }
+            Violation::Fvp(vl, (ox, oy)) => {
+                if !state.fvp[vl as usize].fvp_windows().contains(&(ox, oy)) {
+                    continue; // resolved meanwhile
+                }
+                // Nets owning movable vias in the window.
+                let mut owners: Vec<NetId> = Vec::new();
+                for dx in 0..3 {
+                    for dy in 0..3 {
+                        let (x, y) = (ox + dx, oy + dy);
+                        if state.is_pin_via(Via::new(vl, x, y)) {
+                            continue;
+                        }
+                        for &n in state.view.via_owners(vl, x, y) {
+                            if !owners.contains(&n) {
+                                owners.push(n);
+                            }
+                        }
+                    }
+                }
+                if owners.is_empty() {
+                    continue; // pin-driven FVP: nothing to rip
+                }
+                // Raise history on the vias of the FVP so they grow
+                // expensive (Algorithm 2 line 15).
+                for dx in 0..3 {
+                    for dy in 0..3 {
+                        let (x, y) = (ox + dx, oy + dy);
+                        if state.fvp[vl as usize].contains(x, y) {
+                            state.bump_history(GridPoint::new(vl, x, y));
+                            state.bump_history(GridPoint::new(vl + 1, x, y));
+                        }
+                    }
+                }
+                owners[rotation % owners.len()]
+            }
+        };
+        rotation += 1;
+        stats.iterations += 1;
+        if reroute(state, netlist, victim) {
+            stats.reroutes += 1;
+        } else {
+            stats.failures += 1;
+        }
+        // Requeue fresh violations around the rerouted net.
+        if let Some(route) = state.solution.route(victim).cloned() {
+            let mut pts: Vec<GridPoint> = route.covered_points().into_iter().collect();
+            pts.sort_unstable();
+            for q in pts {
+                if state.owners_of(q).len() > 1 {
+                    push(&mut heap, &mut seq, Violation::Congestion(q));
+                }
+            }
+            for &v in route.vias() {
+                let vl = v.below as usize;
+                for (wx, wy) in state.fvp[vl].fvp_windows().iter().copied() {
+                    if (v.x - wx).abs() <= 2 && (v.y - wy).abs() <= 2 {
+                        push(&mut heap, &mut seq, Violation::Fvp(v.below, (wx, wy)));
+                    }
+                }
+            }
+        }
+        // The processed violation may persist: requeue if so.
+        match viol {
+            Violation::Congestion(p) => {
+                if state.owners_of(p).len() > 1 {
+                    push(&mut heap, &mut seq, Violation::Congestion(p));
+                }
+            }
+            Violation::Fvp(vl, w) => {
+                if state.fvp[vl as usize].fvp_windows().contains(&w) {
+                    push(&mut heap, &mut seq, Violation::Fvp(vl, w));
+                }
+            }
+        }
+    }
+
+    let clean = state.congested_points().is_empty()
+        && (0..state.grid.via_layer_count())
+            .all(|vl| state.fvp[vl as usize].fvp_windows().is_empty());
+    (clean, stats)
+}
+
+/// Checks 3-colorability of every via-layer decomposition graph
+/// (Welsh–Powell first, exact search on small suspicious components),
+/// ripping and rerouting nets with uncolorable vias when needed.
+///
+/// Returns `true` when every via layer is 3-colorable.
+pub fn ensure_colorable(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    max_attempts: usize,
+) -> bool {
+    for _ in 0..max_attempts.max(1) {
+        let mut bad_vias: Vec<Via> = Vec::new();
+        for vl in 0..state.grid.via_layer_count() {
+            let positions: Vec<(i32, i32)> = state.fvp[vl as usize].vias().collect();
+            let graph = DecompGraph::from_positions(positions.iter().copied());
+            let greedy = welsh_powell(&graph, 3);
+            if greedy.is_complete() {
+                continue;
+            }
+            // Greedy can fail on colorable graphs: verify exactly on
+            // the components that contain uncolored vertices.
+            let mut uncol: HashSet<u32> = greedy.uncolorable.iter().copied().collect();
+            for comp in graph.components() {
+                if !comp.iter().any(|v| uncol.contains(v)) {
+                    continue;
+                }
+                if comp.len() <= 30 {
+                    let sub = DecompGraph::from_positions(
+                        comp.iter().map(|&v| graph.position(v as usize)),
+                    );
+                    if exact_color(&sub, 3).is_some() {
+                        for v in &comp {
+                            uncol.remove(v);
+                        }
+                    }
+                }
+            }
+            for &v in &uncol {
+                let (x, y) = graph.position(v as usize);
+                bad_vias.push(Via::new(vl, x, y));
+            }
+        }
+        if bad_vias.is_empty() {
+            return true;
+        }
+        // Rip the owners of truly-uncolorable vias and retry.
+        let mut victims: Vec<NetId> = Vec::new();
+        for via in bad_vias {
+            state.bump_history(via.bottom());
+            state.bump_history(via.top());
+            if state.is_pin_via(via) {
+                continue;
+            }
+            for &n in state.view.via_owners(via.below, via.x, via.y) {
+                if !victims.contains(&n) {
+                    victims.push(n);
+                }
+            }
+        }
+        if victims.is_empty() {
+            return false; // only pin vias involved: cannot fix
+        }
+        for v in victims {
+            reroute(state, netlist, v);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::CostParams;
+    use sadp_grid::{Net, Pin, RoutingGrid, SadpKind};
+
+    fn build(nets: Vec<Net>, w: i32, h: i32) -> (Netlist, RouterState) {
+        let mut nl = Netlist::new();
+        for n in nets {
+            nl.push(n);
+        }
+        let grid = RoutingGrid::three_layer(w, h);
+        let st = RouterState::new(
+            grid,
+            &nl,
+            SadpKind::Sim,
+            CostParams::default(),
+            true,
+            true,
+        );
+        (nl, st)
+    }
+
+    #[test]
+    fn initial_routing_routes_everything() {
+        let (nl, mut st) = build(
+            vec![
+                Net::new("a", vec![Pin::new(4, 4), Pin::new(12, 4)]),
+                Net::new("b", vec![Pin::new(4, 8), Pin::new(12, 12)]),
+                Net::new("c", vec![Pin::new(6, 6), Pin::new(6, 14), Pin::new(14, 6)]),
+            ],
+            24,
+            24,
+        );
+        let failed = initial_routing(&mut st, &nl);
+        assert!(failed.is_empty());
+        assert_eq!(st.solution.routed_count(), 3);
+        assert!(st.solution.connectivity_errors(&nl).is_empty());
+    }
+
+    #[test]
+    fn congestion_negotiation_clears_overlaps() {
+        // Many nets forced through a congested column.
+        let mut nets = Vec::new();
+        for k in 0..6 {
+            nets.push(Net::new(
+                format!("n{k}"),
+                vec![Pin::new(2, 4 + 2 * k), Pin::new(21, 4 + 2 * k)],
+            ));
+        }
+        let (nl, mut st) = build(nets, 24, 24);
+        let failed = initial_routing(&mut st, &nl);
+        assert!(failed.is_empty());
+        let (clean, _stats) = negotiate_congestion(&mut st, &nl, 10_000);
+        assert!(clean, "congestion not resolved");
+        assert!(st.solution.shorts().is_empty());
+        assert!(st.solution.connectivity_errors(&nl).is_empty());
+    }
+
+    #[test]
+    fn tpl_phase_removes_fvps() {
+        // Dense pin clusters that force via clusters on layer 1.
+        let mut nets = Vec::new();
+        for k in 0..8 {
+            // Diagonal nets all crossing around the center: vias pile
+            // up.
+            nets.push(Net::new(
+                format!("n{k}"),
+                vec![Pin::new(3 + k, 3), Pin::new(20 - k, 20)],
+            ));
+        }
+        let (nl, mut st) = build(nets, 24, 24);
+        let failed = initial_routing(&mut st, &nl);
+        assert!(failed.is_empty());
+        let (_c, _s) = negotiate_congestion(&mut st, &nl, 10_000);
+        let (clean, _stats) = tpl_violation_removal(&mut st, &nl, 10_000);
+        assert!(clean, "FVPs or congestion remain");
+        for vl in 0..st.grid.via_layer_count() {
+            assert!(st.fvp[vl as usize].fvp_windows().is_empty());
+        }
+        assert!(st.solution.connectivity_errors(&nl).is_empty());
+    }
+
+    #[test]
+    fn colorability_check_passes_on_clean_layouts() {
+        let (nl, mut st) = build(
+            vec![
+                Net::new("a", vec![Pin::new(4, 4), Pin::new(12, 4)]),
+                Net::new("b", vec![Pin::new(4, 10), Pin::new(12, 16)]),
+            ],
+            24,
+            24,
+        );
+        initial_routing(&mut st, &nl);
+        negotiate_congestion(&mut st, &nl, 1000);
+        tpl_violation_removal(&mut st, &nl, 1000);
+        assert!(ensure_colorable(&mut st, &nl, 3));
+    }
+}

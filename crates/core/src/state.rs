@@ -1,0 +1,533 @@
+//! Mutable router state: the evolving solution, occupancy view, cost
+//! maps, FVP indices, blocked via locations, and the per-net cost
+//! journals implementing Algorithm 1.
+
+use std::collections::HashSet;
+
+use dvi::{feasible_candidate, Candidate, LayoutView};
+use sadp_grid::{DenseGrid, Dir, GridPoint, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid,
+                RoutingSolution, SadpKind, Via};
+use tpl_decomp::{conflict_offsets, FvpIndex};
+
+use crate::costs::CostParams;
+
+/// Which penalty map a journal delta applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapKind {
+    /// Metal-point penalty (BDC contributions on wires).
+    Wire,
+    /// Via-location penalty (BDC / AMC / CDC contributions).
+    ViaLoc,
+}
+
+/// One reversible cost contribution of a routed net.
+#[derive(Debug, Clone, Copy)]
+struct Delta {
+    map: MapKind,
+    point: GridPoint,
+    amount: i64,
+}
+
+/// The router's complete mutable state.
+///
+/// Invariants maintained across [`RouterState::install_route`] /
+/// [`RouterState::uninstall_route`] pairs:
+///
+/// * `view` mirrors `solution` plus the permanent pin seeds;
+/// * `fvp[l]` and `conflict_count` track exactly the vias present
+///   (pins seeded once, route vias added/removed with their net);
+/// * every cost contribution of a net is journaled and reversed on
+///   uninstall.
+#[derive(Debug)]
+pub struct RouterState {
+    /// The routing grid.
+    pub grid: RoutingGrid,
+    /// SADP process (turn rules).
+    pub kind: SadpKind,
+    /// Cost parameters.
+    pub params: CostParams,
+    /// Apply the DVI cost assignment (BDC/AMC/CDC)?
+    pub consider_dvi: bool,
+    /// Apply the TPL cost assignment (TPLC) and FVP machinery?
+    pub consider_tpl: bool,
+    /// Occupancy view (solution routes + pin seeds).
+    pub view: LayoutView,
+    /// The evolving solution.
+    pub solution: RoutingSolution,
+    /// Negotiated-congestion history cost per metal point.
+    pub history: DenseGrid<i64>,
+    /// Accumulated wire penalties (BDC) per metal point.
+    pub wire_penalty: DenseGrid<i64>,
+    /// Accumulated via-location penalties (BDC/AMC/CDC) per via layer.
+    pub via_penalty: DenseGrid<i64>,
+    /// Number of existing vias within same-color pitch of each via
+    /// location (drives TPLC).
+    pub conflict_count: DenseGrid<i64>,
+    /// Via locations blocked because an insertion would create an FVP
+    /// (Algorithm 2).
+    pub blocked: DenseGrid<bool>,
+    /// Enforce `blocked` during path search (phase 2).
+    pub enforce_blocked: bool,
+    /// FVP index per via layer.
+    pub fvp: Vec<FvpIndex>,
+    /// Pin locations (fixed via stacks), used to exempt pin vias from
+    /// incremental via bookkeeping and from rip-up.
+    pin_vias: HashSet<(i32, i32)>,
+    journals: Vec<Vec<Delta>>,
+}
+
+impl RouterState {
+    /// Creates the state for a netlist on a grid, seeding pin pads and
+    /// pin via stacks.
+    pub fn new(
+        grid: RoutingGrid,
+        netlist: &Netlist,
+        kind: SadpKind,
+        params: CostParams,
+        consider_dvi: bool,
+        consider_tpl: bool,
+    ) -> RouterState {
+        let metal_layers = grid.layer_count();
+        let via_layers = grid.via_layer_count();
+        let (w, h) = (grid.width(), grid.height());
+        let mut state = RouterState {
+            view: LayoutView::new(grid.clone()),
+            solution: RoutingSolution::new(grid.clone(), netlist),
+            history: DenseGrid::new(metal_layers, w, h, 0),
+            wire_penalty: DenseGrid::new(metal_layers, w, h, 0),
+            via_penalty: DenseGrid::new(via_layers, w, h, 0),
+            conflict_count: DenseGrid::new(via_layers, w, h, 0),
+            blocked: DenseGrid::new(via_layers, w, h, false),
+            enforce_blocked: false,
+            fvp: (0..via_layers)
+                .map(|_| FvpIndex::new(w.max(3), h.max(3)))
+                .collect(),
+            pin_vias: HashSet::new(),
+            journals: vec![Vec::new(); netlist.len()],
+            grid,
+            kind,
+            params,
+            consider_dvi,
+            consider_tpl,
+        };
+        // Seed the permanent pin pads and pin via stacks.
+        for (id, net) in netlist.iter() {
+            let stub = pin_stub(&state.grid, net);
+            for &via in stub.vias() {
+                state.pin_vias.insert((via.x, via.y));
+                state.add_via_tracking(via);
+            }
+            state.view.add_route(id, &stub);
+        }
+        state
+    }
+
+    /// The via stack a net's pins contribute (also part of every
+    /// installed route).
+    pub fn pin_stub_for(&self, net: &Net) -> RoutedNet {
+        pin_stub(&self.grid, net)
+    }
+
+    /// `true` when `via` belongs to a fixed pin via stack (below the
+    /// first routing layer).
+    pub fn is_pin_via(&self, via: Via) -> bool {
+        via.below < self.grid.first_routing_layer() && self.pin_vias.contains(&(via.x, via.y))
+    }
+
+    fn add_via_tracking(&mut self, via: Via) {
+        let vl = via.below;
+        self.fvp[vl as usize].add_via(via.x, via.y);
+        for (dx, dy) in conflict_offsets() {
+            let p = GridPoint::new(vl, via.x + dx, via.y + dy);
+            if let Some(c) = self.conflict_count.get_mut(p) {
+                *c += 1;
+            }
+        }
+        self.refresh_blocked_around(vl, via.x, via.y);
+    }
+
+    fn remove_via_tracking(&mut self, via: Via) {
+        let vl = via.below;
+        self.fvp[vl as usize].remove_via(via.x, via.y);
+        for (dx, dy) in conflict_offsets() {
+            let p = GridPoint::new(vl, via.x + dx, via.y + dy);
+            if let Some(c) = self.conflict_count.get_mut(p) {
+                *c -= 1;
+            }
+        }
+        self.refresh_blocked_around(vl, via.x, via.y);
+    }
+
+    /// Recomputes the blocked flags in the window around a changed
+    /// via.
+    pub fn refresh_blocked_around(&mut self, vl: u8, x: i32, y: i32) {
+        if !self.consider_tpl {
+            return;
+        }
+        for dx in -2..=2 {
+            for dy in -2..=2 {
+                let p = GridPoint::new(vl, x + dx, y + dy);
+                if self.blocked.contains(p) {
+                    let b = self.fvp[vl as usize].would_create_fvp(p.x, p.y);
+                    self.blocked[p] = b;
+                }
+            }
+        }
+    }
+
+    /// Recomputes all blocked flags (start of the TPL R&R phase,
+    /// Algorithm 2 line 2).
+    pub fn refresh_all_blocked(&mut self) {
+        for vl in 0..self.grid.via_layer_count() {
+            for x in 0..self.grid.width() {
+                for y in 0..self.grid.height() {
+                    let b = self.fvp[vl as usize].would_create_fvp(x, y);
+                    self.blocked[GridPoint::new(vl, x, y)] = b;
+                }
+            }
+        }
+    }
+
+    /// Installs a route: solution, occupancy, via tracking, and the
+    /// Algorithm 1 cost assignment.
+    pub fn install_route(&mut self, id: NetId, route: RoutedNet) {
+        self.view.add_route(id, &route);
+        for &via in route.vias() {
+            if !self.is_pin_via(via) {
+                self.add_via_tracking(via);
+            }
+        }
+        self.apply_net_costs(id, &route);
+        self.solution.set_route(id, route);
+    }
+
+    /// Uninstalls a route, reversing everything `install_route` did.
+    /// Returns the removed route.
+    pub fn uninstall_route(&mut self, id: NetId) -> Option<RoutedNet> {
+        let route = self.solution.take_route(id)?;
+        self.remove_net_costs(id);
+        for &via in route.vias() {
+            if !self.is_pin_via(via) {
+                self.remove_via_tracking(via);
+            }
+        }
+        self.view.remove_route(id, &route);
+        Some(route)
+    }
+
+    /// The feasible DVI candidates of a via of an installed route.
+    pub fn feasible_dvics(&self, net: NetId, route: &RoutedNet, via: Via) -> Vec<Candidate> {
+        Dir::PLANAR
+            .iter()
+            .filter_map(|&d| feasible_candidate(self.kind, &self.view, route, net, via, d))
+            .collect()
+    }
+
+    /// Algorithm 1: adds the BDC / AMC / CDC penalties contributed by
+    /// a freshly routed net (TPLC is tracked through
+    /// `conflict_count`).
+    fn apply_net_costs(&mut self, id: NetId, route: &RoutedNet) {
+        if !self.consider_dvi {
+            return;
+        }
+        let mut journal = Vec::new();
+        for &via in route.vias() {
+            let feas = self.feasible_dvics(id, route, via);
+            let k = feas.len();
+            let bdc = self.params.bdc(k);
+            let cdc = self.params.cdc(k);
+            for cand in &feas {
+                let (lx, ly) = cand.loc;
+                // Block-DVIC cost on the candidate location: the metal
+                // points on both connected layers and the via slot.
+                for layer in [via.below, via.below + 1] {
+                    let p = GridPoint::new(layer, lx, ly);
+                    if self.wire_penalty.contains(p) {
+                        self.wire_penalty[p] += bdc;
+                        journal.push(Delta {
+                            map: MapKind::Wire,
+                            point: p,
+                            amount: bdc,
+                        });
+                    }
+                }
+                let pv = GridPoint::new(cand.via_layer, lx, ly);
+                if self.via_penalty.contains(pv) {
+                    self.via_penalty[pv] += bdc;
+                    journal.push(Delta {
+                        map: MapKind::ViaLoc,
+                        point: pv,
+                        amount: bdc,
+                    });
+                }
+                // Conflict-DVIC cost on via locations that would share
+                // this DVIC.
+                for d in Dir::PLANAR {
+                    let (sx, sy) = d.step();
+                    let (mx, my) = (lx + sx, ly + sy);
+                    if (mx, my) == (via.x, via.y) {
+                        continue;
+                    }
+                    let pm = GridPoint::new(cand.via_layer, mx, my);
+                    if self.via_penalty.contains(pm) {
+                        self.via_penalty[pm] += cdc;
+                        journal.push(Delta {
+                            map: MapKind::ViaLoc,
+                            point: pm,
+                            amount: cdc,
+                        });
+                    }
+                }
+            }
+        }
+        // Along-metal cost: via locations adjacent to this net's
+        // wires would lose DVICs to our metal.
+        let amc = self.params.amc_cost();
+        let mut wire_points: HashSet<GridPoint> = HashSet::new();
+        for e in route.edges() {
+            for p in e.endpoints() {
+                wire_points.insert(p);
+            }
+        }
+        for p in wire_points {
+            for d in Dir::PLANAR {
+                let n = p.stepped(d);
+                if !self.grid.in_bounds(n) {
+                    continue;
+                }
+                // Via layers whose vias land on this metal layer.
+                for vl in [n.layer.wrapping_sub(1), n.layer] {
+                    let pv = GridPoint::new(vl, n.x, n.y);
+                    if vl < self.grid.via_layer_count() && self.via_penalty.contains(pv) {
+                        self.via_penalty[pv] += amc;
+                        journal.push(Delta {
+                            map: MapKind::ViaLoc,
+                            point: pv,
+                            amount: amc,
+                        });
+                    }
+                }
+            }
+        }
+        self.journals[id.index()] = journal;
+    }
+
+    /// Reverses the cost assignment of a net (O(m) in its journal).
+    fn remove_net_costs(&mut self, id: NetId) {
+        let journal = std::mem::take(&mut self.journals[id.index()]);
+        for d in journal {
+            match d.map {
+                MapKind::Wire => self.wire_penalty[d.point] -= d.amount,
+                MapKind::ViaLoc => self.via_penalty[d.point] -= d.amount,
+            }
+        }
+    }
+
+    /// Cost of occupying metal point `p` while routing `net`: penalty
+    /// map + history + present-sharing usage.
+    pub fn vertex_cost(&self, p: GridPoint, net: NetId) -> i64 {
+        let others = self.view.distinct_others(p, net);
+        self.wire_penalty[p] + self.history[p] + self.params.usage_cost(others)
+    }
+
+    /// Cost of placing a via at `(vl, x, y)` while routing `net`, or
+    /// `None` when the location is blocked (Algorithm 2).
+    pub fn via_cost(&self, vl: u8, x: i32, y: i32) -> Option<i64> {
+        let p = GridPoint::new(vl, x, y);
+        if self.enforce_blocked && self.blocked[p] {
+            return None;
+        }
+        let mut cost = self.params.via_step() + self.via_penalty[p];
+        if self.consider_tpl {
+            cost += self.params.tplc(self.conflict_count[p]);
+        }
+        Some(cost)
+    }
+
+    /// Adds history cost at a congested metal point.
+    pub fn bump_history(&mut self, p: GridPoint) {
+        self.history[p] += self.params.history_step();
+    }
+
+    /// All currently congested metal points (≥ 2 distinct owners).
+    pub fn congested_points(&self) -> Vec<GridPoint> {
+        let mut out: Vec<GridPoint> = self
+            .view
+            .iter_points()
+            .filter(|(p, owners)| {
+                let mut distinct: Vec<NetId> = Vec::new();
+                for &o in *owners {
+                    if !distinct.contains(&o) {
+                        distinct.push(o);
+                    }
+                }
+                let _ = p;
+                distinct.len() > 1
+            })
+            .map(|(p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Distinct owners of a metal point.
+    pub fn owners_of(&self, p: GridPoint) -> Vec<NetId> {
+        let mut distinct: Vec<NetId> = Vec::new();
+        for &o in self.view.owners(p) {
+            if !distinct.contains(&o) {
+                distinct.push(o);
+            }
+        }
+        distinct
+    }
+}
+
+/// The fixed via stack + pad points contributed by a net's pins: one
+/// via per layer from the pin layer up to the first routing layer.
+fn pin_stub(grid: &RoutingGrid, net: &Net) -> RoutedNet {
+    let first_routing = grid.first_routing_layer();
+    let mut vias = Vec::new();
+    for &Pin { x, y } in net.pins() {
+        for l in 0..first_routing {
+            vias.push(Via::new(l, x, y));
+        }
+    }
+    RoutedNet::new(Vec::new(), vias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_grid::{Axis, Net, Netlist, Pin, WireEdge};
+
+    fn setup() -> (Netlist, RouterState) {
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(4, 4), Pin::new(8, 4)]));
+        nl.push(Net::new("b", vec![Pin::new(4, 8), Pin::new(8, 8)]));
+        let grid = RoutingGrid::three_layer(16, 16);
+        let state = RouterState::new(
+            grid,
+            &nl,
+            SadpKind::Sim,
+            CostParams::default(),
+            true,
+            true,
+        );
+        (nl, state)
+    }
+
+    fn route_a() -> RoutedNet {
+        RoutedNet::new(
+            (4..8).map(|x| WireEdge::new(1, x, 4, Axis::Horizontal)).collect(),
+            vec![Via::new(0, 4, 4), Via::new(0, 8, 4)],
+        )
+    }
+
+    #[test]
+    fn pins_are_seeded() {
+        let (_nl, state) = setup();
+        // Pin pads on M1 and M2 are owned.
+        assert!(state
+            .view
+            .occupied_by_other(GridPoint::new(1, 4, 4), NetId(1)));
+        assert!(state.view.via_at(0, 4, 4));
+        assert!(state.is_pin_via(Via::new(0, 4, 4)));
+        assert!(!state.is_pin_via(Via::new(1, 4, 4)));
+        // Pin vias participate in TPL conflict counts.
+        assert!(state.conflict_count[GridPoint::new(0, 5, 4)] > 0);
+    }
+
+    #[test]
+    fn install_uninstall_round_trips_costs() {
+        let (_nl, mut state) = setup();
+        let wp_before = state.wire_penalty.clone();
+        let vp_before = state.via_penalty.clone();
+        let cc_before = state.conflict_count.clone();
+        state.install_route(NetId(0), route_a());
+        // Costs changed somewhere.
+        assert!(state.via_penalty != vp_before || state.wire_penalty != wp_before);
+        let removed = state.uninstall_route(NetId(0)).unwrap();
+        assert_eq!(removed, route_a());
+        assert_eq!(state.wire_penalty, wp_before);
+        assert_eq!(state.via_penalty, vp_before);
+        assert_eq!(state.conflict_count, cc_before);
+        assert!(state.solution.route(NetId(0)).is_none());
+    }
+
+    #[test]
+    fn vertex_cost_reflects_usage() {
+        let (_nl, mut state) = setup();
+        state.install_route(NetId(0), route_a());
+        let p = GridPoint::new(1, 6, 4);
+        // Foreign net pays usage there; owner does not.
+        assert!(state.vertex_cost(p, NetId(1)) >= state.params.usage_cost(1));
+        assert!(state.vertex_cost(p, NetId(0)) < state.params.usage_cost(1));
+    }
+
+    #[test]
+    fn via_cost_includes_tpl_conflicts() {
+        let (_nl, state) = setup();
+        // Next to pin via (4,4): one conflict at least.
+        let near = state.via_cost(0, 5, 4).unwrap();
+        let far = state.via_cost(0, 12, 12).unwrap();
+        assert!(near > far);
+    }
+
+    #[test]
+    fn blocked_vias_are_refused_when_enforced() {
+        let (_nl, mut state) = setup();
+        // Manufacture an FVP-threatening cluster on via layer 1.
+        for &(x, y) in &[(4, 4), (6, 4), (5, 5)] {
+            state.add_via_tracking(Via::new(1, x, y));
+        }
+        state.refresh_all_blocked();
+        // (5,6) would complete a 4-via pattern without a diagonal
+        // corner pair -> blocked.
+        assert!(state.fvp[1].would_create_fvp(5, 6));
+        assert!(state.via_cost(1, 5, 6).is_some(), "not enforced yet");
+        state.enforce_blocked = true;
+        assert!(state.via_cost(1, 5, 6).is_none());
+        assert!(state.via_cost(1, 10, 10).is_some());
+    }
+
+    #[test]
+    fn congestion_is_reported() {
+        let (_nl, mut state) = setup();
+        state.install_route(NetId(0), route_a());
+        // Net b routed straight through net a's wire.
+        state.install_route(
+            NetId(1),
+            RoutedNet::new(
+                (4..8).map(|x| WireEdge::new(1, x, 4, Axis::Horizontal)).collect(),
+                vec![Via::new(0, 4, 8), Via::new(0, 8, 8)],
+            ),
+        );
+        let congested = state.congested_points();
+        assert!(!congested.is_empty());
+        let owners = state.owners_of(GridPoint::new(1, 5, 4));
+        assert_eq!(owners.len(), 2);
+    }
+
+    #[test]
+    fn feasible_dvics_counted() {
+        let (_nl, mut state) = setup();
+        state.install_route(NetId(0), route_a());
+        let route = state.solution.route(NetId(0)).unwrap().clone();
+        let feas = state.feasible_dvics(NetId(0), &route, Via::new(0, 4, 4));
+        assert!(!feas.is_empty());
+        assert!(feas.len() <= 4);
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let (_nl, mut state) = setup();
+        let p = GridPoint::new(1, 5, 5);
+        let before = state.vertex_cost(p, NetId(0));
+        state.bump_history(p);
+        state.bump_history(p);
+        assert_eq!(
+            state.vertex_cost(p, NetId(0)),
+            before + 2 * state.params.history_step()
+        );
+    }
+}

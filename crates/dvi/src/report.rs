@@ -1,0 +1,72 @@
+//! The outcome of a TPL-aware DVI pass (either solver).
+
+use std::time::Duration;
+
+/// Result of a TPL-aware double-via-insertion pass.
+///
+/// The paper's table columns map directly: `#DV` =
+/// [`DviOutcome::dead_via_count`], `#UV` =
+/// [`DviOutcome::uncolorable_count`], `CPU` = [`DviOutcome::runtime`].
+#[derive(Debug, Clone, Default)]
+pub struct DviOutcome {
+    /// Indices (into the problem's candidate list) of the inserted
+    /// redundant vias.
+    pub inserted: Vec<u32>,
+    /// TPL color of each single via of the problem (`None` =
+    /// uncolorable).
+    pub via_colors: Vec<Option<u8>>,
+    /// TPL colors of the inserted redundant vias (parallel to
+    /// `inserted`).
+    pub inserted_colors: Vec<u8>,
+    /// Single vias left without a redundant via.
+    pub dead_via_count: usize,
+    /// Vias that could not receive a TPL color (`#UV`).
+    pub uncolorable_count: usize,
+    /// Wall-clock time of the pass.
+    pub runtime: Duration,
+}
+
+impl DviOutcome {
+    /// Number of redundant vias inserted.
+    pub fn inserted_count(&self) -> usize {
+        self.inserted.len()
+    }
+
+    /// Protection rate: inserted / (inserted + dead).
+    pub fn protection_rate(&self) -> f64 {
+        let total = self.inserted.len() + self.dead_via_count;
+        if total == 0 {
+            1.0
+        } else {
+            self.inserted.len() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_rate_handles_empty() {
+        let o = DviOutcome::default();
+        assert_eq!(o.protection_rate(), 1.0);
+        assert_eq!(o.inserted_count(), 0);
+    }
+
+    #[test]
+    fn outcome_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DviOutcome>();
+    }
+
+    #[test]
+    fn protection_rate_counts() {
+        let o = DviOutcome {
+            inserted: vec![0, 1, 2],
+            dead_via_count: 1,
+            ..DviOutcome::default()
+        };
+        assert!((o.protection_rate() - 0.75).abs() < 1e-12);
+    }
+}

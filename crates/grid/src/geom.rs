@@ -1,0 +1,532 @@
+//! Core geometric vocabulary: directions, axes, grid points, turn
+//! orientations, parities, and axis-aligned rectangles.
+//!
+//! Everything is expressed in abstract grid units (one unit = one track
+//! pitch); physical dimensions never appear in the suite.
+
+use std::fmt;
+
+/// A routing direction in the 3-D grid graph.
+///
+/// `East`/`West` move along increasing/decreasing `x`, `North`/`South`
+/// along increasing/decreasing `y`, and `Up`/`Down` across via layers.
+///
+/// ```
+/// use sadp_grid::Dir;
+/// assert_eq!(Dir::East.opposite(), Dir::West);
+/// assert!(Dir::North.is_planar());
+/// assert!(!Dir::Up.is_planar());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Increasing `x`.
+    East,
+    /// Decreasing `x`.
+    West,
+    /// Increasing `y`.
+    North,
+    /// Decreasing `y`.
+    South,
+    /// To the metal layer above (through a via).
+    Up,
+    /// To the metal layer below (through a via).
+    Down,
+}
+
+impl Dir {
+    /// All six directions, planar first.
+    pub const ALL: [Dir; 6] = [
+        Dir::East,
+        Dir::West,
+        Dir::North,
+        Dir::South,
+        Dir::Up,
+        Dir::Down,
+    ];
+
+    /// The four in-plane directions.
+    pub const PLANAR: [Dir; 4] = [Dir::East, Dir::West, Dir::North, Dir::South];
+
+    /// Returns the opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        }
+    }
+
+    /// `true` for the four in-plane directions.
+    #[inline]
+    pub fn is_planar(self) -> bool {
+        !matches!(self, Dir::Up | Dir::Down)
+    }
+
+    /// The axis of a planar direction, or `None` for `Up`/`Down`.
+    #[inline]
+    pub fn axis(self) -> Option<Axis> {
+        match self {
+            Dir::East | Dir::West => Some(Axis::Horizontal),
+            Dir::North | Dir::South => Some(Axis::Vertical),
+            _ => None,
+        }
+    }
+
+    /// The `(dx, dy)` step of a planar direction; `(0, 0)` for vias.
+    #[inline]
+    pub fn step(self) -> (i32, i32) {
+        match self {
+            Dir::East => (1, 0),
+            Dir::West => (-1, 0),
+            Dir::North => (0, 1),
+            Dir::South => (0, -1),
+            Dir::Up | Dir::Down => (0, 0),
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::East => "E",
+            Dir::West => "W",
+            Dir::North => "N",
+            Dir::South => "S",
+            Dir::Up => "U",
+            Dir::Down => "D",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the two in-plane axes.
+///
+/// Each routing layer has a *preferred* axis; routing along the other
+/// axis is the strongly discouraged non-preferred direction of the
+/// paper's "restricted detailed routing".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// Along `x` (east–west wires).
+    Horizontal,
+    /// Along `y` (north–south wires).
+    Vertical,
+}
+
+impl Axis {
+    /// The perpendicular axis.
+    #[inline]
+    pub fn perpendicular(self) -> Axis {
+        match self {
+            Axis::Horizontal => Axis::Vertical,
+            Axis::Vertical => Axis::Horizontal,
+        }
+    }
+
+    /// The two planar directions lying on this axis.
+    #[inline]
+    pub fn dirs(self) -> [Dir; 2] {
+        match self {
+            Axis::Horizontal => [Dir::East, Dir::West],
+            Axis::Vertical => [Dir::North, Dir::South],
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Axis::Horizontal => "H",
+            Axis::Vertical => "V",
+        })
+    }
+}
+
+/// A point of the multi-layer routing grid: `(layer, x, y)`.
+///
+/// `layer` indexes metal layers from the bottom (`0` = metal 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridPoint {
+    /// Metal-layer index (0-based; 0 = metal 1).
+    pub layer: u8,
+    /// Track index along the x axis.
+    pub x: i32,
+    /// Track index along the y axis.
+    pub y: i32,
+}
+
+impl GridPoint {
+    /// Creates a grid point.
+    #[inline]
+    pub fn new(layer: u8, x: i32, y: i32) -> Self {
+        GridPoint { layer, x, y }
+    }
+
+    /// The point one step in direction `d` (same layer for planar
+    /// directions, adjacent layer for `Up`/`Down`).
+    #[inline]
+    pub fn stepped(self, d: Dir) -> GridPoint {
+        let (dx, dy) = d.step();
+        let layer = match d {
+            Dir::Up => self.layer + 1,
+            Dir::Down => self.layer.wrapping_sub(1),
+            _ => self.layer,
+        };
+        GridPoint {
+            layer,
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+
+    /// Manhattan distance to `other`, ignoring layers.
+    #[inline]
+    pub fn manhattan(self, other: GridPoint) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// The parity class of the point (used by the SADP color
+    /// pre-assignment).
+    #[inline]
+    pub fn parity(self) -> Parity {
+        Parity {
+            x_odd: (self.x & 1) != 0,
+            y_odd: (self.y & 1) != 0,
+        }
+    }
+}
+
+impl fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}({},{})", self.layer + 1, self.x, self.y)
+    }
+}
+
+/// The parity class `(x mod 2, y mod 2)` of a grid point.
+///
+/// The SADP color pre-assignment colors panels (SIM) or tracks (SID)
+/// alternately in both directions, so every legality question reduces
+/// to one of the four parity classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Parity {
+    /// `x` track index is odd.
+    pub x_odd: bool,
+    /// `y` track index is odd.
+    pub y_odd: bool,
+}
+
+impl Parity {
+    /// All four parity classes.
+    pub const ALL: [Parity; 4] = [
+        Parity { x_odd: false, y_odd: false },
+        Parity { x_odd: true, y_odd: false },
+        Parity { x_odd: false, y_odd: true },
+        Parity { x_odd: true, y_odd: true },
+    ];
+
+    /// Compact index in `0..4` (`x_odd` is bit 0, `y_odd` bit 1).
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.x_odd as usize) | ((self.y_odd as usize) << 1)
+    }
+}
+
+/// The orientation of an L-shaped turn: which horizontal arm and which
+/// vertical arm the metal occupies around the turning point.
+///
+/// For example, a wire arriving from the west and leaving to the north
+/// makes a [`TurnKind::WestNorth`] turn: its arms extend west and north
+/// of the corner.
+///
+/// ```
+/// use sadp_grid::{Dir, TurnKind};
+/// let t = TurnKind::from_arms(Dir::West, Dir::North).unwrap();
+/// assert_eq!(t, TurnKind::WestNorth);
+/// assert_eq!(TurnKind::from_arms(Dir::East, Dir::West), None); // collinear
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TurnKind {
+    /// Arms extend east and north.
+    EastNorth,
+    /// Arms extend east and south.
+    EastSouth,
+    /// Arms extend west and north.
+    WestNorth,
+    /// Arms extend west and south.
+    WestSouth,
+}
+
+impl TurnKind {
+    /// All four orientations.
+    pub const ALL: [TurnKind; 4] = [
+        TurnKind::EastNorth,
+        TurnKind::EastSouth,
+        TurnKind::WestNorth,
+        TurnKind::WestSouth,
+    ];
+
+    /// Builds a turn from its two arm directions (in either order).
+    ///
+    /// Returns `None` if the directions are collinear or non-planar.
+    pub fn from_arms(a: Dir, b: Dir) -> Option<TurnKind> {
+        let (h, v) = match (a.axis()?, b.axis()?) {
+            (Axis::Horizontal, Axis::Vertical) => (a, b),
+            (Axis::Vertical, Axis::Horizontal) => (b, a),
+            _ => return None,
+        };
+        Some(match (h, v) {
+            (Dir::East, Dir::North) => TurnKind::EastNorth,
+            (Dir::East, Dir::South) => TurnKind::EastSouth,
+            (Dir::West, Dir::North) => TurnKind::WestNorth,
+            (Dir::West, Dir::South) => TurnKind::WestSouth,
+            _ => unreachable!("axes already checked"),
+        })
+    }
+
+    /// The horizontal arm direction.
+    #[inline]
+    pub fn horizontal_arm(self) -> Dir {
+        match self {
+            TurnKind::EastNorth | TurnKind::EastSouth => Dir::East,
+            TurnKind::WestNorth | TurnKind::WestSouth => Dir::West,
+        }
+    }
+
+    /// The vertical arm direction.
+    #[inline]
+    pub fn vertical_arm(self) -> Dir {
+        match self {
+            TurnKind::EastNorth | TurnKind::WestNorth => Dir::North,
+            TurnKind::EastSouth | TurnKind::WestSouth => Dir::South,
+        }
+    }
+
+    /// Compact index in `0..4`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TurnKind::EastNorth => 0,
+            TurnKind::EastSouth => 1,
+            TurnKind::WestNorth => 2,
+            TurnKind::WestSouth => 3,
+        }
+    }
+}
+
+impl fmt::Display for TurnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TurnKind::EastNorth => "EN",
+            TurnKind::EastSouth => "ES",
+            TurnKind::WestNorth => "WN",
+            TurnKind::WestSouth => "WS",
+        })
+    }
+}
+
+/// A closed axis-aligned rectangle in grid units, used by the mask
+/// synthesizer. Coordinates are in half-track units so mask shapes can
+/// sit between tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rect {
+    /// Left edge (inclusive), in half-track units.
+    pub x0: i32,
+    /// Bottom edge (inclusive).
+    pub y0: i32,
+    /// Right edge (inclusive).
+    pub x1: i32,
+    /// Top edge (inclusive).
+    pub y1: i32,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing corner order.
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Rect {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width along x (inclusive extent).
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.x1 - self.x0
+    }
+
+    /// Height along y (inclusive extent).
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.y1 - self.y0
+    }
+
+    /// `true` if the two rectangles share any point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// The separation between two rectangles: the Chebyshev gap, i.e.
+    /// the largest `s` such that inflating either rectangle by less
+    /// than `s` on all sides keeps them disjoint. Zero if they touch or
+    /// overlap.
+    pub fn spacing(&self, other: &Rect) -> i32 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        dx.max(dy)
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{} - {},{}]", self.x0, self.y0, self.x1, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_opposites_are_involutive() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn dir_axis_matches_step() {
+        for d in Dir::PLANAR {
+            let (dx, dy) = d.step();
+            match d.axis().unwrap() {
+                Axis::Horizontal => assert!(dx != 0 && dy == 0),
+                Axis::Vertical => assert!(dx == 0 && dy != 0),
+            }
+        }
+        assert_eq!(Dir::Up.axis(), None);
+        assert_eq!(Dir::Down.axis(), None);
+    }
+
+    #[test]
+    fn planar_dirs_are_planar() {
+        for d in Dir::PLANAR {
+            assert!(d.is_planar());
+        }
+        assert!(!Dir::Up.is_planar());
+    }
+
+    #[test]
+    fn stepping_moves_one_unit() {
+        let p = GridPoint::new(1, 5, 7);
+        assert_eq!(p.stepped(Dir::East), GridPoint::new(1, 6, 7));
+        assert_eq!(p.stepped(Dir::South), GridPoint::new(1, 5, 6));
+        assert_eq!(p.stepped(Dir::Up), GridPoint::new(2, 5, 7));
+        assert_eq!(p.stepped(Dir::Down), GridPoint::new(0, 5, 7));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = GridPoint::new(1, 0, 0);
+        let b = GridPoint::new(2, 3, -4);
+        assert_eq!(a.manhattan(b), 7);
+        assert_eq!(b.manhattan(a), 7);
+    }
+
+    #[test]
+    fn parity_classes_are_distinct() {
+        let mut seen = [false; 4];
+        for p in Parity::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parity_of_points() {
+        assert_eq!(GridPoint::new(0, 2, 2).parity().index(), 0);
+        assert_eq!(GridPoint::new(0, 3, 2).parity().index(), 1);
+        assert_eq!(GridPoint::new(0, 2, 3).parity().index(), 2);
+        assert_eq!(GridPoint::new(0, 3, 3).parity().index(), 3);
+        // Negative coordinates keep the same two-coloring.
+        assert_eq!(GridPoint::new(0, -1, 0).parity().index(), 1);
+    }
+
+    #[test]
+    fn turn_from_arms() {
+        assert_eq!(
+            TurnKind::from_arms(Dir::North, Dir::East),
+            Some(TurnKind::EastNorth)
+        );
+        assert_eq!(
+            TurnKind::from_arms(Dir::South, Dir::West),
+            Some(TurnKind::WestSouth)
+        );
+        assert_eq!(TurnKind::from_arms(Dir::East, Dir::East), None);
+        assert_eq!(TurnKind::from_arms(Dir::East, Dir::West), None);
+        assert_eq!(TurnKind::from_arms(Dir::Up, Dir::West), None);
+    }
+
+    #[test]
+    fn turn_arms_round_trip() {
+        for t in TurnKind::ALL {
+            let rebuilt = TurnKind::from_arms(t.horizontal_arm(), t.vertical_arm()).unwrap();
+            assert_eq!(rebuilt, t);
+        }
+    }
+
+    #[test]
+    fn turn_indices_unique() {
+        let mut seen = [false; 4];
+        for t in TurnKind::ALL {
+            assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+    }
+
+    #[test]
+    fn rect_normalizes_and_measures() {
+        let r = Rect::new(4, 5, 1, 2);
+        assert_eq!(r, Rect::new(1, 2, 4, 5));
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 3);
+    }
+
+    #[test]
+    fn rect_intersection_and_spacing() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(3, 0, 5, 2);
+        let c = Rect::new(1, 1, 4, 4);
+        assert!(!a.intersects(&b));
+        assert!(a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert_eq!(a.spacing(&b), 1);
+        assert_eq!(a.spacing(&c), 0);
+        let d = Rect::new(4, 4, 6, 6);
+        assert_eq!(a.spacing(&d), 2);
+    }
+
+    #[test]
+    fn rect_union_contains_both() {
+        let a = Rect::new(0, 0, 1, 1);
+        let b = Rect::new(5, -2, 6, 0);
+        let u = a.union(&b);
+        assert!(u.intersects(&a) && u.intersects(&b));
+        assert_eq!(u, Rect::new(0, -2, 6, 1));
+    }
+}

@@ -1,0 +1,229 @@
+//! The multi-layer routing grid: per-layer roles and preferred
+//! directions, plus the SADP process selector.
+
+use crate::geom::{Axis, GridPoint};
+
+/// Which SADP process manufactures the metal layers.
+///
+/// * [`SadpKind::Sim`] — Spacer-Is-Metal with a cut mask: spacers
+///   deposited around mandrel patterns directly form the metal.
+/// * [`SadpKind::Sid`] — Spacer-Is-Dielectric with a trim mask:
+///   spacers define the trenches *between* metal patterns.
+/// * [`SadpKind::SimTrim`] — Spacer-Is-Metal with a trim mask: the
+///   variant the paper names when noting the approach "can be easily
+///   adapted to other SADP variants". Mandrel geometry and hence turn
+///   legality match SIM; only the second mask's polarity differs
+///   (keep instead of cut).
+///
+/// The paper evaluates the first two; the color pre-assignment differs
+/// (panels vs. tracks) and so do the turn-legality tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SadpKind {
+    /// Spacer-Is-Metal, cut-mask approach.
+    Sim,
+    /// Spacer-Is-Dielectric, trim-mask approach.
+    Sid,
+    /// Spacer-Is-Metal, trim-mask approach (paper §I: "our approach
+    /// can be easily adapted to other SADP variants").
+    SimTrim,
+}
+
+impl SadpKind {
+    /// The two processes evaluated by the paper.
+    pub const ALL: [SadpKind; 2] = [SadpKind::Sim, SadpKind::Sid];
+
+    /// Every supported process variant.
+    pub const VARIANTS: [SadpKind; 3] = [SadpKind::Sim, SadpKind::Sid, SadpKind::SimTrim];
+
+    /// `true` when the metal is spacer-defined (SIM-family mandrel
+    /// geometry and turn rules).
+    pub fn is_spacer_is_metal(self) -> bool {
+        matches!(self, SadpKind::Sim | SadpKind::SimTrim)
+    }
+}
+
+impl std::fmt::Display for SadpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SadpKind::Sim => "SIM",
+            SadpKind::Sid => "SID",
+            SadpKind::SimTrim => "SIM-trim",
+        })
+    }
+}
+
+/// The role of one metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerRole {
+    /// Pins only — no routing allowed (metal 1 in the benchmarks).
+    PinOnly,
+    /// A routing layer with the given preferred axis. Routing in the
+    /// perpendicular (non-preferred) axis is allowed but strongly
+    /// discouraged ("restricted detailed routing").
+    Routing(Axis),
+}
+
+/// The multi-layer routing grid.
+///
+/// Width counts vertical tracks (x in `0..width`); height counts
+/// horizontal tracks (y in `0..height`). Via layer `v` connects metal
+/// layers `v` and `v + 1`.
+///
+/// ```
+/// use sadp_grid::{Axis, LayerRole, RoutingGrid};
+/// let g = RoutingGrid::three_layer(100, 80);
+/// assert_eq!(g.layer_role(1), Some(LayerRole::Routing(Axis::Horizontal)));
+/// assert_eq!(g.layer_role(2), Some(LayerRole::Routing(Axis::Vertical)));
+/// assert_eq!(g.via_layer_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingGrid {
+    width: i32,
+    height: i32,
+    layers: Vec<LayerRole>,
+}
+
+impl RoutingGrid {
+    /// Creates a grid with an explicit layer stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not positive or fewer than two layers
+    /// are given (at least one via layer must exist).
+    pub fn new(width: i32, height: i32, layers: Vec<LayerRole>) -> RoutingGrid {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        assert!(layers.len() >= 2, "need at least two metal layers");
+        assert!(layers.len() <= u8::MAX as usize, "too many layers");
+        RoutingGrid {
+            width,
+            height,
+            layers,
+        }
+    }
+
+    /// The benchmark stack of the paper: metal 1 pins-only, metal 2
+    /// horizontal, metal 3 vertical.
+    pub fn three_layer(width: i32, height: i32) -> RoutingGrid {
+        RoutingGrid::new(
+            width,
+            height,
+            vec![
+                LayerRole::PinOnly,
+                LayerRole::Routing(Axis::Horizontal),
+                LayerRole::Routing(Axis::Vertical),
+            ],
+        )
+    }
+
+    /// Grid width (number of vertical tracks).
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Grid height (number of horizontal tracks).
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Number of metal layers.
+    #[inline]
+    pub fn layer_count(&self) -> u8 {
+        self.layers.len() as u8
+    }
+
+    /// Number of via layers (`layer_count - 1`).
+    #[inline]
+    pub fn via_layer_count(&self) -> u8 {
+        self.layers.len() as u8 - 1
+    }
+
+    /// The role of metal layer `layer`, or `None` if out of range.
+    #[inline]
+    pub fn layer_role(&self, layer: u8) -> Option<LayerRole> {
+        self.layers.get(layer as usize).copied()
+    }
+
+    /// The preferred axis of a routing layer; `None` for pin-only or
+    /// out-of-range layers.
+    #[inline]
+    pub fn preferred_axis(&self, layer: u8) -> Option<Axis> {
+        match self.layer_role(layer)? {
+            LayerRole::Routing(a) => Some(a),
+            LayerRole::PinOnly => None,
+        }
+    }
+
+    /// `true` if routing (wires) may use this layer.
+    #[inline]
+    pub fn is_routing_layer(&self, layer: u8) -> bool {
+        matches!(self.layer_role(layer), Some(LayerRole::Routing(_)))
+    }
+
+    /// `true` if `(x, y)` lies inside the grid.
+    #[inline]
+    pub fn in_bounds_xy(&self, x: i32, y: i32) -> bool {
+        x >= 0 && x < self.width && y >= 0 && y < self.height
+    }
+
+    /// `true` if the point lies inside the grid (any valid layer).
+    #[inline]
+    pub fn in_bounds(&self, p: GridPoint) -> bool {
+        (p.layer as usize) < self.layers.len() && self.in_bounds_xy(p.x, p.y)
+    }
+
+    /// The lowest routing layer (where pins connect up to).
+    pub fn first_routing_layer(&self) -> u8 {
+        self.layers
+            .iter()
+            .position(|r| matches!(r, LayerRole::Routing(_)))
+            .expect("at least one routing layer") as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Axis;
+
+    #[test]
+    fn three_layer_stack() {
+        let g = RoutingGrid::three_layer(10, 12);
+        assert_eq!(g.width(), 10);
+        assert_eq!(g.height(), 12);
+        assert_eq!(g.layer_count(), 3);
+        assert_eq!(g.via_layer_count(), 2);
+        assert_eq!(g.layer_role(0), Some(LayerRole::PinOnly));
+        assert_eq!(g.preferred_axis(0), None);
+        assert_eq!(g.preferred_axis(1), Some(Axis::Horizontal));
+        assert_eq!(g.preferred_axis(2), Some(Axis::Vertical));
+        assert_eq!(g.preferred_axis(3), None);
+        assert!(!g.is_routing_layer(0));
+        assert!(g.is_routing_layer(1));
+        assert_eq!(g.first_routing_layer(), 1);
+    }
+
+    #[test]
+    fn bounds_checks() {
+        let g = RoutingGrid::three_layer(4, 5);
+        assert!(g.in_bounds(GridPoint::new(0, 0, 0)));
+        assert!(g.in_bounds(GridPoint::new(2, 3, 4)));
+        assert!(!g.in_bounds(GridPoint::new(3, 0, 0)));
+        assert!(!g.in_bounds(GridPoint::new(0, 4, 0)));
+        assert!(!g.in_bounds(GridPoint::new(0, 0, 5)));
+        assert!(!g.in_bounds_xy(-1, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_layer() {
+        let _ = RoutingGrid::new(4, 4, vec![LayerRole::PinOnly]);
+    }
+
+    #[test]
+    fn sadp_kind_display() {
+        assert_eq!(SadpKind::Sim.to_string(), "SIM");
+        assert_eq!(SadpKind::Sid.to_string(), "SID");
+    }
+}

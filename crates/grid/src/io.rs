@@ -1,0 +1,302 @@
+//! Plain-text interchange for netlists and routing solutions.
+//!
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # netlist
+//! grid 64 64 3
+//! net clk 4 4  24 4  14 20
+//! net d0  8 8  20 16
+//!
+//! # solution
+//! route 0
+//! wire 1 4 4 H
+//! via 0 4 4
+//! end
+//! ```
+//!
+//! `grid W H L` declares the grid (L = metal layer count, pin layer +
+//! alternating H/V routing layers). `net NAME x y [x y ...]` declares
+//! a net. In solutions, `route I` opens net `I`'s route, followed by
+//! `wire LAYER X Y H|V` and `via BELOW X Y` lines, closed by `end`.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::geom::Axis;
+use crate::grid::{LayerRole, RoutingGrid};
+use crate::netlist::{Net, NetId, Netlist, Pin};
+use crate::solution::{RoutedNet, RoutingSolution, Via, WireEdge};
+
+/// Error parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayoutError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseLayoutError {
+    ParseLayoutError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_num<T: FromStr>(line: usize, tok: Option<&str>, what: &str) -> Result<T, ParseLayoutError> {
+    tok.ok_or_else(|| err(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| err(line, format!("invalid {what}")))
+}
+
+/// Serializes a grid + netlist.
+pub fn write_netlist(grid: &RoutingGrid, netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "grid {} {} {}",
+        grid.width(),
+        grid.height(),
+        grid.layer_count()
+    );
+    for (_, net) in netlist.iter() {
+        let _ = write!(out, "net {}", net.name());
+        for p in net.pins() {
+            let _ = write!(out, " {} {}", p.x, p.y);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a grid + netlist produced by [`write_netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseLayoutError`] naming the offending line.
+pub fn read_netlist(text: &str) -> Result<(RoutingGrid, Netlist), ParseLayoutError> {
+    let mut grid: Option<RoutingGrid> = None;
+    let mut netlist = Netlist::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        match toks.next() {
+            Some("grid") => {
+                let w: i32 = parse_num(line, toks.next(), "width")?;
+                let h: i32 = parse_num(line, toks.next(), "height")?;
+                let l: u8 = parse_num(line, toks.next(), "layer count")?;
+                if l < 2 {
+                    return Err(err(line, "need at least 2 layers"));
+                }
+                let mut layers = vec![LayerRole::PinOnly];
+                for k in 1..l {
+                    layers.push(LayerRole::Routing(if k % 2 == 1 {
+                        Axis::Horizontal
+                    } else {
+                        Axis::Vertical
+                    }));
+                }
+                grid = Some(RoutingGrid::new(w, h, layers));
+            }
+            Some("net") => {
+                let name = toks.next().ok_or_else(|| err(line, "missing net name"))?;
+                let coords: Vec<i32> = toks
+                    .map(|t| t.parse().map_err(|_| err(line, "invalid coordinate")))
+                    .collect::<Result<_, _>>()?;
+                if coords.len() < 4 || !coords.len().is_multiple_of(2) {
+                    return Err(err(line, "need an even number (>= 4) of pin coordinates"));
+                }
+                let pins = coords.chunks(2).map(|c| Pin::new(c[0], c[1])).collect();
+                netlist.push(Net::new(name, pins));
+            }
+            Some(other) => return Err(err(line, format!("unknown directive '{other}'"))),
+            None => unreachable!("empty lines filtered"),
+        }
+    }
+    let grid = grid.ok_or_else(|| err(0, "missing 'grid' line"))?;
+    Ok((grid, netlist))
+}
+
+/// Serializes the routed nets of a solution.
+pub fn write_solution(solution: &RoutingSolution) -> String {
+    let mut out = String::new();
+    for (id, route) in solution.iter() {
+        let _ = writeln!(out, "route {}", id.0);
+        for e in route.edges() {
+            let axis = match e.axis {
+                Axis::Horizontal => "H",
+                Axis::Vertical => "V",
+            };
+            let _ = writeln!(out, "wire {} {} {} {axis}", e.layer, e.x, e.y);
+        }
+        for v in route.vias() {
+            let _ = writeln!(out, "via {} {} {}", v.below, v.x, v.y);
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parses routes produced by [`write_solution`] into a fresh solution
+/// for `netlist` on `grid`.
+///
+/// # Errors
+///
+/// Returns a [`ParseLayoutError`] on malformed input or out-of-range
+/// net ids.
+pub fn read_solution(
+    grid: RoutingGrid,
+    netlist: &Netlist,
+    text: &str,
+) -> Result<RoutingSolution, ParseLayoutError> {
+    let mut solution = RoutingSolution::new(grid, netlist);
+    let mut current: Option<(NetId, Vec<WireEdge>, Vec<Via>)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        match toks.next() {
+            Some("route") => {
+                if current.is_some() {
+                    return Err(err(line, "nested 'route' (missing 'end'?)"));
+                }
+                let id: u32 = parse_num(line, toks.next(), "net id")?;
+                if id as usize >= netlist.len() {
+                    return Err(err(line, format!("net id {id} out of range")));
+                }
+                current = Some((NetId(id), Vec::new(), Vec::new()));
+            }
+            Some("wire") => {
+                let (_, edges, _) = current
+                    .as_mut()
+                    .ok_or_else(|| err(line, "'wire' outside a route"))?;
+                let layer: u8 = parse_num(line, toks.next(), "layer")?;
+                let x: i32 = parse_num(line, toks.next(), "x")?;
+                let y: i32 = parse_num(line, toks.next(), "y")?;
+                let axis = match toks.next() {
+                    Some("H") => Axis::Horizontal,
+                    Some("V") => Axis::Vertical,
+                    _ => return Err(err(line, "axis must be H or V")),
+                };
+                edges.push(WireEdge::new(layer, x, y, axis));
+            }
+            Some("via") => {
+                let (_, _, vias) = current
+                    .as_mut()
+                    .ok_or_else(|| err(line, "'via' outside a route"))?;
+                let below: u8 = parse_num(line, toks.next(), "below layer")?;
+                let x: i32 = parse_num(line, toks.next(), "x")?;
+                let y: i32 = parse_num(line, toks.next(), "y")?;
+                vias.push(Via::new(below, x, y));
+            }
+            Some("end") => {
+                let (id, edges, vias) = current
+                    .take()
+                    .ok_or_else(|| err(line, "'end' outside a route"))?;
+                solution.set_route(id, RoutedNet::new(edges, vias));
+            }
+            Some(other) => return Err(err(line, format!("unknown directive '{other}'"))),
+            None => unreachable!(),
+        }
+    }
+    if current.is_some() {
+        return Err(err(text.lines().count(), "unterminated route"));
+    }
+    Ok(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (RoutingGrid, Netlist, RoutingSolution) {
+        let grid = RoutingGrid::three_layer(16, 16);
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(2, 2), Pin::new(6, 2)]));
+        nl.push(Net::new("b", vec![Pin::new(2, 6), Pin::new(6, 6), Pin::new(4, 10)]));
+        let mut sol = RoutingSolution::new(grid.clone(), &nl);
+        sol.set_route(
+            NetId(0),
+            RoutedNet::new(
+                (2..6).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect(),
+                vec![Via::new(0, 2, 2), Via::new(0, 6, 2)],
+            ),
+        );
+        (grid, nl, sol)
+    }
+
+    #[test]
+    fn netlist_round_trips() {
+        let (grid, nl, _) = sample();
+        let text = write_netlist(&grid, &nl);
+        let (grid2, nl2) = read_netlist(&text).unwrap();
+        assert_eq!(grid, grid2);
+        assert_eq!(nl, nl2);
+    }
+
+    #[test]
+    fn solution_round_trips() {
+        let (grid, nl, sol) = sample();
+        let text = write_solution(&sol);
+        let sol2 = read_solution(grid, &nl, &text).unwrap();
+        assert_eq!(sol.stats(), sol2.stats());
+        assert_eq!(sol.route(NetId(0)), sol2.route(NetId(0)));
+        assert!(sol2.route(NetId(1)).is_none());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\ngrid 8 8 3\n# a net\nnet x 1 1 4 4\n";
+        let (g, nl) = read_netlist(text).unwrap();
+        assert_eq!(g.width(), 8);
+        assert_eq!(nl.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = read_netlist("grid 8 8 3\nnet broken 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = read_netlist("frobnicate\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn solution_errors() {
+        let (grid, nl, _) = sample();
+        let e = read_solution(grid.clone(), &nl, "wire 1 0 0 H\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+        let e = read_solution(grid.clone(), &nl, "route 9\nend\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = read_solution(grid, &nl, "route 0\nwire 1 0 0 X\n").unwrap_err();
+        assert!(e.message.contains("axis"));
+    }
+
+    #[test]
+    fn four_layer_grid_round_trips() {
+        let text = "grid 10 12 4\nnet p 1 1 5 5\n";
+        let (g, _) = read_netlist(text).unwrap();
+        assert_eq!(g.layer_count(), 4);
+        assert_eq!(g.preferred_axis(1), Some(Axis::Horizontal));
+        assert_eq!(g.preferred_axis(2), Some(Axis::Vertical));
+        assert_eq!(g.preferred_axis(3), Some(Axis::Horizontal));
+        let round = write_netlist(&g, &Netlist::new());
+        assert!(round.starts_with("grid 10 12 4"));
+    }
+}

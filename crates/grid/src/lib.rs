@@ -1,0 +1,38 @@
+//! # sadp-grid
+//!
+//! Substrate crate for the SADP-aware detailed-routing suite: the
+//! multi-layer routing grid, placed netlists, the SADP color
+//! pre-assignment, and the routed-solution data model shared by every
+//! other crate in the workspace.
+//!
+//! The model follows the paper's setting (Ding, Chu, Mak, DAC 2016):
+//! a grid of routing tracks per metal layer, a preferred routing
+//! direction per layer, metal 1 reserved for pins, and via layers
+//! between adjacent metal layers.
+//!
+//! ```
+//! use sadp_grid::{RoutingGrid, Netlist, Net, Pin, SadpKind};
+//!
+//! let grid = RoutingGrid::three_layer(64, 64);
+//! assert_eq!(grid.layer_count(), 3);
+//! let mut netlist = Netlist::new();
+//! netlist.push(Net::new("n0", vec![Pin::new(3, 4), Pin::new(10, 4)]));
+//! assert_eq!(netlist.len(), 1);
+//! let _kind = SadpKind::Sim;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod geom;
+pub mod io;
+pub mod grid;
+pub mod netlist;
+pub mod solution;
+
+pub use dense::DenseGrid;
+pub use io::{read_netlist, read_solution, write_netlist, write_solution, ParseLayoutError};
+pub use geom::{Axis, Dir, GridPoint, Parity, Rect, TurnKind};
+pub use grid::{LayerRole, RoutingGrid, SadpKind};
+pub use netlist::{Net, NetId, Netlist, Pin};
+pub use solution::{RoutedNet, RoutingSolution, SolutionStats, Via, WireEdge};

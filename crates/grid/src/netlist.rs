@@ -1,0 +1,226 @@
+//! Placed netlists: pins sit on metal-1 grid points; nets connect two
+//! or more pins.
+
+use std::fmt;
+
+/// Identifier of a net inside a [`Netlist`] (its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// A pin: a fixed terminal on metal 1 at grid location `(x, y)`.
+///
+/// Metal 1 is not a routing layer; the router reaches each pin through
+/// a mandatory via at the pin location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pin {
+    /// Track index along x.
+    pub x: i32,
+    /// Track index along y.
+    pub y: i32,
+}
+
+impl Pin {
+    /// Creates a pin at `(x, y)`.
+    #[inline]
+    pub fn new(x: i32, y: i32) -> Pin {
+        Pin { x, y }
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A net: a named set of pins to be electrically connected.
+///
+/// ```
+/// use sadp_grid::{Net, Pin};
+/// let n = Net::new("clk", vec![Pin::new(0, 0), Pin::new(5, 3)]);
+/// assert_eq!(n.pins().len(), 2);
+/// assert_eq!(n.name(), "clk");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    name: String,
+    pins: Vec<Pin>,
+}
+
+impl Net {
+    /// Creates a net. Duplicate pins are removed; order is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two distinct pins remain — a routable net
+    /// needs at least two terminals.
+    pub fn new(name: impl Into<String>, pins: Vec<Pin>) -> Net {
+        let mut seen = std::collections::HashSet::new();
+        let pins: Vec<Pin> = pins.into_iter().filter(|p| seen.insert(*p)).collect();
+        assert!(pins.len() >= 2, "a net needs at least two distinct pins");
+        Net {
+            name: name.into(),
+            pins,
+        }
+    }
+
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net's pins.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Half-perimeter wirelength of the pin bounding box — a lower
+    /// bound on the net's routed wirelength.
+    pub fn hpwl(&self) -> u32 {
+        let (mut x0, mut x1, mut y0, mut y1) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
+        for p in &self.pins {
+            x0 = x0.min(p.x);
+            x1 = x1.max(p.x);
+            y0 = y0.min(p.y);
+            y1 = y1.max(p.y);
+        }
+        x0.abs_diff(x1) + y0.abs_diff(y1)
+    }
+}
+
+/// An ordered collection of nets; the order is the sequential routing
+/// order of the paper's framework.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Netlist {
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    /// Appends a net, returning its id.
+    pub fn push(&mut self, net: Net) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(net);
+        id
+    }
+
+    /// Number of nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// `true` when the netlist holds no nets.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Borrows a net by id.
+    pub fn get(&self, id: NetId) -> Option<&Net> {
+        self.nets.get(id.index())
+    }
+
+    /// Iterates over `(id, net)` pairs in routing order.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Total pin count across all nets.
+    pub fn pin_count(&self) -> usize {
+        self.nets.iter().map(|n| n.pins().len()).sum()
+    }
+}
+
+impl std::ops::Index<NetId> for Netlist {
+    type Output = Net;
+
+    fn index(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+}
+
+impl FromIterator<Net> for Netlist {
+    fn from_iter<I: IntoIterator<Item = Net>>(iter: I) -> Self {
+        Netlist {
+            nets: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Net> for Netlist {
+    fn extend<I: IntoIterator<Item = Net>>(&mut self, iter: I) {
+        self.nets.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_dedupes_pins() {
+        let n = Net::new("a", vec![Pin::new(0, 0), Pin::new(0, 0), Pin::new(1, 1)]);
+        assert_eq!(n.pins().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn net_requires_two_pins() {
+        let _ = Net::new("bad", vec![Pin::new(0, 0), Pin::new(0, 0)]);
+    }
+
+    #[test]
+    fn hpwl_is_bounding_box_half_perimeter() {
+        let n = Net::new(
+            "a",
+            vec![Pin::new(0, 0), Pin::new(4, 1), Pin::new(2, 5)],
+        );
+        assert_eq!(n.hpwl(), 4 + 5);
+    }
+
+    #[test]
+    fn netlist_ids_are_stable_indices() {
+        let mut nl = Netlist::new();
+        let a = nl.push(Net::new("a", vec![Pin::new(0, 0), Pin::new(1, 0)]));
+        let b = nl.push(Net::new("b", vec![Pin::new(2, 2), Pin::new(3, 3)]));
+        assert_eq!(a, NetId(0));
+        assert_eq!(b, NetId(1));
+        assert_eq!(nl[a].name(), "a");
+        assert_eq!(nl.get(b).unwrap().name(), "b");
+        assert_eq!(nl.len(), 2);
+        assert_eq!(nl.pin_count(), 4);
+        assert!(nl.get(NetId(5)).is_none());
+    }
+
+    #[test]
+    fn netlist_collects_from_iterator() {
+        let nets = vec![
+            Net::new("a", vec![Pin::new(0, 0), Pin::new(1, 0)]),
+            Net::new("b", vec![Pin::new(0, 1), Pin::new(1, 1)]),
+        ];
+        let nl: Netlist = nets.into_iter().collect();
+        assert_eq!(nl.len(), 2);
+        let ids: Vec<NetId> = nl.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![NetId(0), NetId(1)]);
+    }
+}

@@ -1,0 +1,621 @@
+//! The routed-solution data model: unit wire edges, vias, per-net
+//! routes, and whole-design solutions with accounting and audits.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::geom::{Axis, Dir, GridPoint, TurnKind};
+use crate::grid::RoutingGrid;
+use crate::netlist::{NetId, Netlist};
+
+/// A unit wire segment on a metal layer: from `(x, y)` to `(x+1, y)`
+/// (horizontal) or `(x, y+1)` (vertical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WireEdge {
+    /// Metal layer the segment lies on.
+    pub layer: u8,
+    /// x of the lower-left endpoint.
+    pub x: i32,
+    /// y of the lower-left endpoint.
+    pub y: i32,
+    /// Orientation of the segment.
+    pub axis: Axis,
+}
+
+impl WireEdge {
+    /// Creates a unit edge.
+    #[inline]
+    pub fn new(layer: u8, x: i32, y: i32, axis: Axis) -> WireEdge {
+        WireEdge { layer, x, y, axis }
+    }
+
+    /// Builds the unit edge between two adjacent same-layer points.
+    ///
+    /// Returns `None` if the points are not planar unit neighbors.
+    pub fn between(a: GridPoint, b: GridPoint) -> Option<WireEdge> {
+        if a.layer != b.layer {
+            return None;
+        }
+        let (dx, dy) = (b.x - a.x, b.y - a.y);
+        match (dx, dy) {
+            (1, 0) => Some(WireEdge::new(a.layer, a.x, a.y, Axis::Horizontal)),
+            (-1, 0) => Some(WireEdge::new(a.layer, b.x, b.y, Axis::Horizontal)),
+            (0, 1) => Some(WireEdge::new(a.layer, a.x, a.y, Axis::Vertical)),
+            (0, -1) => Some(WireEdge::new(a.layer, b.x, b.y, Axis::Vertical)),
+            _ => None,
+        }
+    }
+
+    /// Both endpoints of the edge.
+    #[inline]
+    pub fn endpoints(&self) -> [GridPoint; 2] {
+        let a = GridPoint::new(self.layer, self.x, self.y);
+        let b = match self.axis {
+            Axis::Horizontal => GridPoint::new(self.layer, self.x + 1, self.y),
+            Axis::Vertical => GridPoint::new(self.layer, self.x, self.y + 1),
+        };
+        [a, b]
+    }
+}
+
+/// A via connecting metal layers `below` and `below + 1` at `(x, y)`.
+///
+/// `below` doubles as the via-layer index: via layer 0 connects metal
+/// 1 and metal 2 and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Via {
+    /// Index of the metal layer below the via (= via-layer index).
+    pub below: u8,
+    /// x coordinate.
+    pub x: i32,
+    /// y coordinate.
+    pub y: i32,
+}
+
+impl Via {
+    /// Creates a via.
+    #[inline]
+    pub fn new(below: u8, x: i32, y: i32) -> Via {
+        Via { below, x, y }
+    }
+
+    /// The grid point on the lower metal layer.
+    #[inline]
+    pub fn bottom(&self) -> GridPoint {
+        GridPoint::new(self.below, self.x, self.y)
+    }
+
+    /// The grid point on the upper metal layer.
+    #[inline]
+    pub fn top(&self) -> GridPoint {
+        GridPoint::new(self.below + 1, self.x, self.y)
+    }
+}
+
+impl std::fmt::Display for Via {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "V{}({},{})", self.below + 1, self.x, self.y)
+    }
+}
+
+/// The route of one net: a set of unit wire edges plus vias.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutedNet {
+    edges: Vec<WireEdge>,
+    vias: Vec<Via>,
+}
+
+impl RoutedNet {
+    /// Creates a route from edges and vias, deduplicating both.
+    pub fn new(edges: Vec<WireEdge>, vias: Vec<Via>) -> RoutedNet {
+        let mut e: Vec<WireEdge> = edges;
+        e.sort_unstable();
+        e.dedup();
+        let mut v: Vec<Via> = vias;
+        v.sort_unstable();
+        v.dedup();
+        RoutedNet { edges: e, vias: v }
+    }
+
+    /// The wire edges.
+    pub fn edges(&self) -> &[WireEdge] {
+        &self.edges
+    }
+
+    /// The vias.
+    pub fn vias(&self) -> &[Via] {
+        &self.vias
+    }
+
+    /// Routed wirelength in grid units (= number of unit edges).
+    pub fn wirelength(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Number of vias.
+    pub fn via_count(&self) -> u64 {
+        self.vias.len() as u64
+    }
+
+    /// Every metal grid point covered by this route (wire endpoints
+    /// and via landing pads).
+    pub fn covered_points(&self) -> HashSet<GridPoint> {
+        let mut pts = HashSet::with_capacity(self.edges.len() * 2 + self.vias.len() * 2);
+        for e in &self.edges {
+            for p in e.endpoints() {
+                pts.insert(p);
+            }
+        }
+        for v in &self.vias {
+            pts.insert(v.bottom());
+            pts.insert(v.top());
+        }
+        pts
+    }
+
+    /// The planar directions in which this net's metal extends from
+    /// point `p` on `p.layer` (i.e. which incident unit edges exist).
+    pub fn arm_dirs(&self, p: GridPoint) -> Vec<Dir> {
+        let mut dirs = Vec::new();
+        for d in Dir::PLANAR {
+            let q = p.stepped(d);
+            if let Some(e) = WireEdge::between(p, q) {
+                if self.edges.binary_search(&e).is_ok() {
+                    dirs.push(d);
+                }
+            }
+        }
+        dirs
+    }
+
+    /// Enumerates every L-turn of the route: grid points where metal
+    /// extends along both axes, with every (horizontal arm, vertical
+    /// arm) combination present.
+    ///
+    /// T-junctions and crossings yield one entry per arm pair, which is
+    /// conservative: each pair must be decomposable on its own.
+    pub fn turns(&self) -> Vec<(GridPoint, TurnKind)> {
+        let mut out = Vec::new();
+        let mut points: HashSet<GridPoint> = HashSet::new();
+        for e in &self.edges {
+            for p in e.endpoints() {
+                points.insert(p);
+            }
+        }
+        for p in points {
+            let arms = self.arm_dirs(p);
+            for &h in arms.iter().filter(|d| d.axis() == Some(Axis::Horizontal)) {
+                for &v in arms.iter().filter(|d| d.axis() == Some(Axis::Vertical)) {
+                    out.push((p, TurnKind::from_arms(h, v).expect("perpendicular arms")));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(p, t)| (*p, t.index()));
+        out
+    }
+
+    /// `true` if the net's metal at `p.layer` passes through `p`.
+    pub fn covers(&self, p: GridPoint) -> bool {
+        for d in Dir::PLANAR {
+            if let Some(e) = WireEdge::between(p, p.stepped(d)) {
+                if self.edges.binary_search(&e).is_ok() {
+                    return true;
+                }
+            }
+        }
+        self.vias
+            .iter()
+            .any(|v| (v.bottom() == p) || (v.top() == p))
+    }
+}
+
+/// Aggregate statistics of a routing solution (the WL / #Vias columns
+/// of the paper's tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolutionStats {
+    /// Total wirelength in grid units.
+    pub wirelength: u64,
+    /// Total via count.
+    pub vias: u64,
+    /// Number of routed nets.
+    pub nets: usize,
+}
+
+/// A complete routing solution for a netlist on a grid.
+#[derive(Debug, Clone)]
+pub struct RoutingSolution {
+    grid: RoutingGrid,
+    routes: Vec<Option<RoutedNet>>,
+}
+
+impl RoutingSolution {
+    /// Creates an empty solution for `netlist` on `grid`.
+    pub fn new(grid: RoutingGrid, netlist: &Netlist) -> RoutingSolution {
+        RoutingSolution {
+            grid,
+            routes: vec![None; netlist.len()],
+        }
+    }
+
+    /// The grid this solution lives on.
+    pub fn grid(&self) -> &RoutingGrid {
+        &self.grid
+    }
+
+    /// Installs (or replaces) the route of `id`.
+    pub fn set_route(&mut self, id: NetId, route: RoutedNet) {
+        self.routes[id.index()] = Some(route);
+    }
+
+    /// Removes and returns the route of `id`.
+    pub fn take_route(&mut self, id: NetId) -> Option<RoutedNet> {
+        self.routes[id.index()].take()
+    }
+
+    /// Borrows the route of `id`.
+    pub fn route(&self, id: NetId) -> Option<&RoutedNet> {
+        self.routes.get(id.index()).and_then(|r| r.as_ref())
+    }
+
+    /// Iterates over `(id, route)` for all routed nets.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &RoutedNet)> + '_ {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (NetId(i as u32), r)))
+    }
+
+    /// Number of nets with a route installed.
+    pub fn routed_count(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Aggregate wirelength / via statistics.
+    pub fn stats(&self) -> SolutionStats {
+        let mut s = SolutionStats::default();
+        for (_, r) in self.iter() {
+            s.wirelength += r.wirelength();
+            s.vias += r.via_count();
+            s.nets += 1;
+        }
+        s
+    }
+
+    /// All vias on via layer `via_layer` across all nets, with owners.
+    pub fn vias_on_layer(&self, via_layer: u8) -> Vec<(NetId, Via)> {
+        let mut out = Vec::new();
+        for (id, r) in self.iter() {
+            for &v in r.vias() {
+                if v.below == via_layer {
+                    out.push((id, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks that every routed net connects all its pins: pins are
+    /// reached through via stacks from the pin layer, wires are
+    /// connected, and no stray disconnected metal exists.
+    ///
+    /// Returns the ids of nets that fail.
+    pub fn connectivity_errors(&self, netlist: &Netlist) -> Vec<NetId> {
+        let mut bad = Vec::new();
+        for (id, route) in self.iter() {
+            if !net_is_connected(&self.grid, netlist, id, route) {
+                bad.push(id);
+            }
+        }
+        bad
+    }
+
+    /// Finds short circuits: metal grid points covered by more than one
+    /// net on the same layer, or via positions shared by several nets.
+    pub fn shorts(&self) -> Vec<(GridPoint, Vec<NetId>)> {
+        let mut owners: HashMap<GridPoint, Vec<NetId>> = HashMap::new();
+        for (id, r) in self.iter() {
+            for p in r.covered_points() {
+                let e = owners.entry(p).or_default();
+                if !e.contains(&id) {
+                    e.push(id);
+                }
+            }
+        }
+        let mut out: Vec<(GridPoint, Vec<NetId>)> = owners
+            .into_iter()
+            .filter(|(_, nets)| nets.len() > 1)
+            .collect();
+        out.sort_unstable_by_key(|(p, _)| *p);
+        out
+    }
+}
+
+/// Union-find connectivity check for one routed net.
+fn net_is_connected(
+    grid: &RoutingGrid,
+    netlist: &Netlist,
+    id: NetId,
+    route: &RoutedNet,
+) -> bool {
+    let net = match netlist.get(id) {
+        Some(n) => n,
+        None => return false,
+    };
+    // Collect all points of the route plus the pins.
+    let mut index: HashMap<GridPoint, usize> = HashMap::new();
+    let intern = |p: GridPoint, index: &mut HashMap<GridPoint, usize>| -> usize {
+        let next = index.len();
+        *index.entry(p).or_insert(next)
+    };
+    let mut edges: Vec<(GridPoint, GridPoint)> = Vec::new();
+    for e in route.edges() {
+        let [a, b] = e.endpoints();
+        edges.push((a, b));
+    }
+    for v in route.vias() {
+        edges.push((v.bottom(), v.top()));
+    }
+    let pin_layer = 0u8;
+    let mut pin_points = Vec::new();
+    for pin in net.pins() {
+        pin_points.push(GridPoint::new(pin_layer, pin.x, pin.y));
+    }
+    for &(a, b) in &edges {
+        intern(a, &mut index);
+        intern(b, &mut index);
+    }
+    for &p in &pin_points {
+        intern(p, &mut index);
+    }
+    if index.is_empty() {
+        return false;
+    }
+    let mut parent: Vec<usize> = (0..index.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for &(a, b) in &edges {
+        let (ia, ib) = (index[&a], index[&b]);
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        parent[ra] = rb;
+    }
+    // All pins and all route points must be in one component.
+    let root = find(&mut parent, index[&pin_points[0]]);
+    for &p in &pin_points {
+        if find(&mut parent, index[&p]) != root {
+            return false;
+        }
+    }
+    for (&p, &i) in index.iter() {
+        if !grid.in_bounds(p) {
+            return false;
+        }
+        if find(&mut parent, i) != root {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Net, Pin};
+
+    fn simple_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(0, 0), Pin::new(2, 0)]));
+        nl
+    }
+
+    /// Route net "a": vias up at both pins, M2 wire from (0,0) to (2,0).
+    fn simple_route() -> RoutedNet {
+        RoutedNet::new(
+            vec![
+                WireEdge::new(1, 0, 0, Axis::Horizontal),
+                WireEdge::new(1, 1, 0, Axis::Horizontal),
+            ],
+            vec![Via::new(0, 0, 0), Via::new(0, 2, 0)],
+        )
+    }
+
+    #[test]
+    fn wire_edge_between_neighbors() {
+        let a = GridPoint::new(1, 3, 3);
+        assert_eq!(
+            WireEdge::between(a, GridPoint::new(1, 4, 3)),
+            Some(WireEdge::new(1, 3, 3, Axis::Horizontal))
+        );
+        assert_eq!(
+            WireEdge::between(a, GridPoint::new(1, 2, 3)),
+            Some(WireEdge::new(1, 2, 3, Axis::Horizontal))
+        );
+        assert_eq!(
+            WireEdge::between(a, GridPoint::new(1, 3, 2)),
+            Some(WireEdge::new(1, 3, 2, Axis::Vertical))
+        );
+        assert_eq!(WireEdge::between(a, GridPoint::new(1, 4, 4)), None);
+        assert_eq!(WireEdge::between(a, GridPoint::new(2, 3, 3)), None);
+    }
+
+    #[test]
+    fn edge_endpoints() {
+        let e = WireEdge::new(1, 2, 3, Axis::Vertical);
+        let [a, b] = e.endpoints();
+        assert_eq!(a, GridPoint::new(1, 2, 3));
+        assert_eq!(b, GridPoint::new(1, 2, 4));
+    }
+
+    #[test]
+    fn via_endpoints() {
+        let v = Via::new(1, 5, 6);
+        assert_eq!(v.bottom(), GridPoint::new(1, 5, 6));
+        assert_eq!(v.top(), GridPoint::new(2, 5, 6));
+    }
+
+    #[test]
+    fn routed_net_dedupes() {
+        let r = RoutedNet::new(
+            vec![
+                WireEdge::new(1, 0, 0, Axis::Horizontal),
+                WireEdge::new(1, 0, 0, Axis::Horizontal),
+            ],
+            vec![Via::new(0, 0, 0), Via::new(0, 0, 0)],
+        );
+        assert_eq!(r.wirelength(), 1);
+        assert_eq!(r.via_count(), 1);
+    }
+
+    #[test]
+    fn arm_dirs_and_turns() {
+        // L-shape on M2: east arm from (1,1) to (2,1), north arm to (1,2).
+        let r = RoutedNet::new(
+            vec![
+                WireEdge::new(1, 1, 1, Axis::Horizontal),
+                WireEdge::new(1, 1, 1, Axis::Vertical),
+            ],
+            vec![],
+        );
+        let corner = GridPoint::new(1, 1, 1);
+        let mut dirs = r.arm_dirs(corner);
+        dirs.sort();
+        assert_eq!(dirs, vec![Dir::East, Dir::North]);
+        let turns = r.turns();
+        assert_eq!(turns, vec![(corner, TurnKind::EastNorth)]);
+    }
+
+    #[test]
+    fn t_junction_yields_two_turns() {
+        // Arms: east, west, north at (1,1) => EN and WN turns.
+        let r = RoutedNet::new(
+            vec![
+                WireEdge::new(1, 0, 1, Axis::Horizontal),
+                WireEdge::new(1, 1, 1, Axis::Horizontal),
+                WireEdge::new(1, 1, 1, Axis::Vertical),
+            ],
+            vec![],
+        );
+        let turns = r.turns();
+        let kinds: Vec<TurnKind> = turns
+            .iter()
+            .filter(|(p, _)| *p == GridPoint::new(1, 1, 1))
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds.contains(&TurnKind::EastNorth));
+        assert!(kinds.contains(&TurnKind::WestNorth));
+    }
+
+    #[test]
+    fn straight_wire_has_no_turns() {
+        let r = simple_route();
+        assert!(r.turns().is_empty());
+    }
+
+    #[test]
+    fn covers_points() {
+        let r = simple_route();
+        assert!(r.covers(GridPoint::new(1, 1, 0)));
+        assert!(r.covers(GridPoint::new(0, 0, 0))); // via bottom
+        assert!(!r.covers(GridPoint::new(1, 0, 1)));
+    }
+
+    #[test]
+    fn solution_stats_and_connectivity() {
+        let nl = simple_netlist();
+        let grid = RoutingGrid::three_layer(8, 8);
+        let mut sol = RoutingSolution::new(grid, &nl);
+        assert_eq!(sol.routed_count(), 0);
+        sol.set_route(NetId(0), simple_route());
+        let s = sol.stats();
+        assert_eq!(s.wirelength, 2);
+        assert_eq!(s.vias, 2);
+        assert_eq!(s.nets, 1);
+        assert!(sol.connectivity_errors(&nl).is_empty());
+    }
+
+    #[test]
+    fn disconnected_route_is_flagged() {
+        let nl = simple_netlist();
+        let grid = RoutingGrid::three_layer(8, 8);
+        let mut sol = RoutingSolution::new(grid, &nl);
+        // Wire present but no via to the second pin.
+        sol.set_route(
+            NetId(0),
+            RoutedNet::new(
+                vec![WireEdge::new(1, 0, 0, Axis::Horizontal)],
+                vec![Via::new(0, 0, 0)],
+            ),
+        );
+        assert_eq!(sol.connectivity_errors(&nl), vec![NetId(0)]);
+    }
+
+    #[test]
+    fn shorts_are_detected() {
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(0, 0), Pin::new(2, 0)]));
+        nl.push(Net::new("b", vec![Pin::new(0, 1), Pin::new(2, 1)]));
+        let grid = RoutingGrid::three_layer(8, 8);
+        let mut sol = RoutingSolution::new(grid, &nl);
+        sol.set_route(NetId(0), simple_route());
+        // Net b erroneously uses the same M2 point (1,0).
+        sol.set_route(
+            NetId(1),
+            RoutedNet::new(
+                vec![
+                    WireEdge::new(1, 0, 0, Axis::Horizontal),
+                    WireEdge::new(1, 1, 0, Axis::Horizontal),
+                ],
+                vec![Via::new(0, 0, 1), Via::new(0, 2, 1)],
+            ),
+        );
+        let shorts = sol.shorts();
+        assert!(!shorts.is_empty());
+        assert!(shorts.iter().all(|(_, nets)| nets.len() == 2));
+    }
+
+    #[test]
+    fn vias_on_layer_filters() {
+        let nl = simple_netlist();
+        let grid = RoutingGrid::three_layer(8, 8);
+        let mut sol = RoutingSolution::new(grid, &nl);
+        sol.set_route(
+            NetId(0),
+            RoutedNet::new(
+                vec![
+                    WireEdge::new(1, 0, 0, Axis::Horizontal),
+                    WireEdge::new(1, 1, 0, Axis::Horizontal),
+                    WireEdge::new(2, 2, 0, Axis::Vertical),
+                ],
+                vec![Via::new(0, 0, 0), Via::new(0, 2, 0), Via::new(1, 2, 0)],
+            ),
+        );
+        assert_eq!(sol.vias_on_layer(0).len(), 2);
+        assert_eq!(sol.vias_on_layer(1).len(), 1);
+        assert_eq!(sol.vias_on_layer(1)[0].1, Via::new(1, 2, 0));
+    }
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RoutingSolution>();
+        assert_send_sync::<RoutedNet>();
+        assert_send_sync::<WireEdge>();
+        assert_send_sync::<Via>();
+        assert_send_sync::<SolutionStats>();
+    }
+
+    #[test]
+    fn take_route_removes() {
+        let nl = simple_netlist();
+        let grid = RoutingGrid::three_layer(8, 8);
+        let mut sol = RoutingSolution::new(grid, &nl);
+        sol.set_route(NetId(0), simple_route());
+        assert!(sol.take_route(NetId(0)).is_some());
+        assert!(sol.route(NetId(0)).is_none());
+        assert_eq!(sol.routed_count(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Round-trip property tests for the plain-text interchange formats.
+
+use proptest::prelude::*;
+use sadp_grid::{read_netlist, read_solution, write_netlist, write_solution, Axis, Net, NetId,
+                Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, Via, WireEdge};
+
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    proptest::collection::vec(((0i32..30, 0i32..30), (0i32..30, 0i32..30)), 1..10).prop_map(
+        |pairs| {
+            let mut nl = Netlist::new();
+            for (i, (a, b)) in pairs.into_iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                nl.push(Net::new(format!("n{i}"), vec![Pin::new(a.0, a.1), Pin::new(b.0, b.1)]));
+            }
+            if nl.is_empty() {
+                nl.push(Net::new("n", vec![Pin::new(0, 0), Pin::new(1, 1)]));
+            }
+            nl
+        },
+    )
+}
+
+proptest! {
+    /// Netlists survive a write/read cycle byte-exactly.
+    #[test]
+    fn netlist_round_trip(nl in arb_netlist()) {
+        let grid = RoutingGrid::three_layer(32, 32);
+        let text = write_netlist(&grid, &nl);
+        let (g2, nl2) = read_netlist(&text).unwrap();
+        prop_assert_eq!(grid, g2);
+        prop_assert_eq!(nl, nl2);
+    }
+
+    /// Solutions survive a write/read cycle (routes compared per net).
+    #[test]
+    fn solution_round_trip(
+        nl in arb_netlist(),
+        edges in proptest::collection::vec((1u8..3, 0i32..30, 0i32..30, any::<bool>()), 0..40),
+        vias in proptest::collection::vec((0u8..2, 0i32..30, 0i32..30), 0..10),
+    ) {
+        let grid = RoutingGrid::three_layer(32, 32);
+        let mut sol = RoutingSolution::new(grid.clone(), &nl);
+        let route = RoutedNet::new(
+            edges
+                .into_iter()
+                .map(|(l, x, y, h)| {
+                    WireEdge::new(l, x, y, if h { Axis::Horizontal } else { Axis::Vertical })
+                })
+                .collect(),
+            vias.into_iter().map(|(b, x, y)| Via::new(b, x, y)).collect(),
+        );
+        sol.set_route(NetId(0), route.clone());
+        let text = write_solution(&sol);
+        let sol2 = read_solution(grid, &nl, &text).unwrap();
+        prop_assert_eq!(sol2.route(NetId(0)), Some(&route));
+        prop_assert_eq!(sol.stats(), sol2.stats());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the geometry and solution substrate.
+
+use proptest::prelude::*;
+use sadp_grid::{Axis, Dir, GridPoint, Rect, RoutedNet, Via, WireEdge};
+
+proptest! {
+    /// `WireEdge::between` is symmetric and consistent with
+    /// `endpoints`.
+    #[test]
+    fn edge_between_round_trips(layer in 0u8..4, x in -50i32..50, y in -50i32..50, horiz in any::<bool>()) {
+        let a = GridPoint::new(layer, x, y);
+        let b = if horiz { a.stepped(Dir::East) } else { a.stepped(Dir::North) };
+        let e = WireEdge::between(a, b).unwrap();
+        prop_assert_eq!(WireEdge::between(b, a).unwrap(), e);
+        let [p, q] = e.endpoints();
+        prop_assert!((p == a && q == b) || (p == b && q == a));
+    }
+
+    /// Rect spacing is symmetric, zero iff touching/overlapping, and
+    /// never negative.
+    #[test]
+    fn rect_spacing_symmetric(
+        ax0 in -20i32..20, ay0 in -20i32..20, aw in 0i32..10, ah in 0i32..10,
+        bx0 in -20i32..20, by0 in -20i32..20, bw in 0i32..10, bh in 0i32..10,
+    ) {
+        let a = Rect::new(ax0, ay0, ax0 + aw, ay0 + ah);
+        let b = Rect::new(bx0, by0, bx0 + bw, by0 + bh);
+        prop_assert_eq!(a.spacing(&b), b.spacing(&a));
+        prop_assert!(a.spacing(&b) >= 0);
+        prop_assert_eq!(a.spacing(&b) == 0, a.intersects(&b) ||
+            // touching counts as zero spacing but may not intersect
+            a.spacing(&b) == 0);
+        if a.intersects(&b) {
+            prop_assert_eq!(a.spacing(&b), 0);
+        }
+        let u = a.union(&b);
+        prop_assert!(u.intersects(&a) && u.intersects(&b));
+    }
+
+    /// Every turn reported by a route corresponds to two incident
+    /// perpendicular arms at that point.
+    #[test]
+    fn turns_match_arms(steps in proptest::collection::vec(0u8..4, 1..20)) {
+        // Build a random walk route on layer 1.
+        let mut p = GridPoint::new(1, 50, 50);
+        let mut edges = Vec::new();
+        for s in steps {
+            let d = [Dir::East, Dir::West, Dir::North, Dir::South][s as usize];
+            let q = p.stepped(d);
+            edges.push(WireEdge::between(p, q).unwrap());
+            p = q;
+        }
+        let route = RoutedNet::new(edges, vec![]);
+        for (pt, turn) in route.turns() {
+            let arms = route.arm_dirs(pt);
+            prop_assert!(arms.contains(&turn.horizontal_arm()));
+            prop_assert!(arms.contains(&turn.vertical_arm()));
+        }
+        // covers() agrees with covered_points().
+        for pt in route.covered_points() {
+            prop_assert!(route.covers(pt));
+        }
+    }
+
+    /// Vias cover exactly their two pads.
+    #[test]
+    fn via_pads(below in 0u8..3, x in 0i32..100, y in 0i32..100) {
+        let v = Via::new(below, x, y);
+        let r = RoutedNet::new(vec![], vec![v]);
+        prop_assert!(r.covers(v.bottom()));
+        prop_assert!(r.covers(v.top()));
+        prop_assert!(!r.covers(GridPoint::new(below, x + 1, y)));
+        prop_assert_eq!(v.bottom().stepped(Dir::Up), v.top());
+    }
+
+    /// Wirelength equals the number of distinct unit edges.
+    #[test]
+    fn wirelength_counts_unique_edges(n in 1usize..30) {
+        let edges: Vec<WireEdge> = (0..n as i32)
+            .map(|i| WireEdge::new(1, i % 7, i / 7, Axis::Horizontal))
+            .collect();
+        let mut expected: Vec<WireEdge> = edges.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let r = RoutedNet::new(edges, vec![]);
+        prop_assert_eq!(r.wirelength() as usize, expected.len());
+    }
+}

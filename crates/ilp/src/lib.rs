@@ -1,0 +1,33 @@
+//! # bilp
+//!
+//! A self-contained 0-1 (binary) integer linear programming library:
+//! a model builder plus an exact branch-and-bound solver with
+//! constraint propagation, connected-component presolve, warm starts,
+//! and a wall-clock time limit with optimality-gap reporting.
+//!
+//! This crate is the suite's substitute for the commercial ILP solver
+//! (Gurobi 6.5) used by the paper for the TPL-aware double-via
+//! insertion reference solutions; see `DESIGN.md` §2.2.
+//!
+//! ```
+//! use bilp::{Model, Sense, SolveOptions};
+//!
+//! // maximize x + y  s.t.  x + y <= 1   (a tiny packing problem)
+//! let mut m = Model::maximize();
+//! let x = m.add_var();
+//! let y = m.add_var();
+//! m.set_objective_coeff(x, 1);
+//! m.set_objective_coeff(y, 1);
+//! m.add_constraint([(x, 1), (y, 1)], Sense::Le, 1);
+//! let sol = m.solve(&SolveOptions::default());
+//! assert_eq!(sol.objective, 1);
+//! assert!(sol.is_optimal());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod solve;
+
+pub use model::{Model, Sense, VarId};
+pub use solve::{SolveOptions, SolveStatus, Solution};

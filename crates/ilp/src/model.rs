@@ -1,0 +1,236 @@
+//! The 0-1 ILP model builder.
+
+use std::fmt;
+
+/// Identifier of a binary decision variable (its index in the model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Comparison sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+/// A linear constraint over binary variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// `(variable, coefficient)` terms; one entry per variable.
+    pub terms: Vec<(VarId, i64)>,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: i64,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// A 0-1 integer linear program.
+///
+/// Build with [`Model::maximize`] / [`Model::minimize`], add variables
+/// and constraints, then call [`Model::solve`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    direction: Direction,
+    objective: Vec<i64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty maximization model.
+    pub fn maximize() -> Model {
+        Model {
+            direction: Direction::Maximize,
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Creates an empty minimization model.
+    pub fn minimize() -> Model {
+        Model {
+            direction: Direction::Minimize,
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The optimization direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Adds a binary variable with objective coefficient 0.
+    pub fn add_var(&mut self) -> VarId {
+        self.objective.push(0);
+        VarId(self.objective.len() as u32 - 1)
+    }
+
+    /// Adds `n` binary variables, returning their ids.
+    pub fn add_vars(&mut self, n: usize) -> Vec<VarId> {
+        (0..n).map(|_| self.add_var()).collect()
+    }
+
+    /// Sets the objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn set_objective_coeff(&mut self, var: VarId, coeff: i64) {
+        self.objective[var.index()] = coeff;
+    }
+
+    /// The objective coefficient of `var`.
+    pub fn objective_coeff(&self, var: VarId) -> i64 {
+        self.objective[var.index()]
+    }
+
+    /// Adds a linear constraint. Terms with duplicate variables are
+    /// combined; zero-coefficient terms are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not belong to the model.
+    pub fn add_constraint<I>(&mut self, terms: I, sense: Sense, rhs: i64)
+    where
+        I: IntoIterator<Item = (VarId, i64)>,
+    {
+        let mut combined: Vec<(VarId, i64)> = Vec::new();
+        for (v, c) in terms {
+            assert!(v.index() < self.objective.len(), "unknown variable {v}");
+            match combined.iter_mut().find(|(w, _)| *w == v) {
+                Some((_, acc)) => *acc += c,
+                None => combined.push((v, c)),
+            }
+        }
+        combined.retain(|&(_, c)| c != 0);
+        self.constraints.push(Constraint {
+            terms: combined,
+            sense,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The raw objective vector (indexed by variable).
+    pub fn objective(&self) -> &[i64] {
+        &self.objective
+    }
+
+    /// Evaluates the objective for an assignment.
+    pub fn objective_value(&self, values: &[bool]) -> i64 {
+        self.objective
+            .iter()
+            .zip(values)
+            .map(|(&c, &v)| if v { c } else { 0 })
+            .sum()
+    }
+
+    /// `true` if the assignment satisfies every constraint.
+    pub fn is_feasible(&self, values: &[bool]) -> bool {
+        self.constraints.iter().all(|c| {
+            let lhs: i64 = c
+                .terms
+                .iter()
+                .map(|&(v, coef)| if values[v.index()] { coef } else { 0 })
+                .sum();
+            match c.sense {
+                Sense::Le => lhs <= c.rhs,
+                Sense::Ge => lhs >= c.rhs,
+                Sense::Eq => lhs == c.rhs,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_are_indexed() {
+        let mut m = Model::maximize();
+        assert_eq!(m.add_var(), VarId(0));
+        assert_eq!(m.add_var(), VarId(1));
+        assert_eq!(m.add_vars(3), vec![VarId(2), VarId(3), VarId(4)]);
+        assert_eq!(m.var_count(), 5);
+    }
+
+    #[test]
+    fn duplicate_terms_combine() {
+        let mut m = Model::maximize();
+        let x = m.add_var();
+        m.add_constraint([(x, 1), (x, 2)], Sense::Le, 2);
+        assert_eq!(m.constraints()[0].terms, vec![(x, 3)]);
+    }
+
+    #[test]
+    fn zero_terms_drop() {
+        let mut m = Model::maximize();
+        let x = m.add_var();
+        let y = m.add_var();
+        m.add_constraint([(x, 1), (y, 0)], Sense::Le, 1);
+        assert_eq!(m.constraints()[0].terms, vec![(x, 1)]);
+    }
+
+    #[test]
+    fn feasibility_and_objective() {
+        let mut m = Model::maximize();
+        let x = m.add_var();
+        let y = m.add_var();
+        m.set_objective_coeff(x, 3);
+        m.set_objective_coeff(y, 2);
+        m.add_constraint([(x, 1), (y, 1)], Sense::Le, 1);
+        assert!(m.is_feasible(&[true, false]));
+        assert!(!m.is_feasible(&[true, true]));
+        assert_eq!(m.objective_value(&[true, false]), 3);
+        assert_eq!(m.objective_value(&[false, true]), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn foreign_variable_rejected() {
+        let mut m = Model::maximize();
+        m.add_constraint([(VarId(7), 1)], Sense::Le, 1);
+    }
+}

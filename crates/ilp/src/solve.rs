@@ -1,0 +1,869 @@
+//! The branch-and-bound solver.
+//!
+//! The engine normalizes every constraint to `≤` rows, splits the
+//! model into connected components over shared variables, and runs a
+//! trail-based depth-first branch and bound per component with:
+//!
+//! * **constraint propagation** — running minimum-activity per row,
+//!   with unit implications (a variable whose assignment would
+//!   necessarily violate a row is fixed to the other value);
+//! * **objective bounding** — fixed objective plus the positive slack
+//!   of unassigned variables prunes dominated subtrees;
+//! * **warm starts** — an initial incumbent (e.g. from a heuristic)
+//!   tightens pruning from the first node;
+//! * **a wall-clock time limit** — on expiry the best incumbent is
+//!   returned together with a proven upper bound so callers can report
+//!   the optimality gap.
+
+use std::time::{Duration, Instant};
+
+use crate::model::{Direction, Model, Sense};
+
+/// Solver options.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Abort the search after this much wall-clock time (per model;
+    /// shared across components). `None` = run to optimality.
+    pub time_limit: Option<Duration>,
+    /// An initial feasible assignment used as the starting incumbent.
+    /// Ignored if infeasible for the model.
+    pub warm_start: Option<Vec<bool>>,
+}
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The returned assignment is proven optimal.
+    Optimal,
+    /// A feasible assignment was found but optimality was not proven
+    /// (time limit).
+    Feasible,
+    /// The model has no feasible assignment.
+    Infeasible,
+    /// The time limit expired before any feasible assignment was
+    /// found (the model may or may not be feasible).
+    Unknown,
+}
+
+/// Result of [`Model::solve`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Assignment per variable (meaningful unless status is
+    /// `Infeasible`/`Unknown`).
+    pub values: Vec<bool>,
+    /// Objective of `values`, in the model's own direction.
+    pub objective: i64,
+    /// Proven bound on the optimum (≥ objective for maximization,
+    /// ≤ for minimization). Equal to `objective` when optimal.
+    pub best_bound: i64,
+    /// Outcome classification.
+    pub status: SolveStatus,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+impl Solution {
+    /// `true` when the solution is proven optimal.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+
+    /// Absolute optimality gap (`best_bound - objective` for
+    /// maximization).
+    pub fn gap(&self) -> i64 {
+        (self.best_bound - self.objective).abs()
+    }
+}
+
+impl Model {
+    /// Solves the model by branch and bound.
+    ///
+    /// See [`SolveOptions`] for limits and warm starts. The solver is
+    /// deterministic for a given model and options.
+    pub fn solve(&self, options: &SolveOptions) -> Solution {
+        let deadline = options.time_limit.map(|d| Instant::now() + d);
+        // Normalize to maximization over <= rows.
+        let negate = self.direction() == Direction::Minimize;
+        let obj: Vec<i64> = self
+            .objective()
+            .iter()
+            .map(|&c| if negate { -c } else { c })
+            .collect();
+        let mut rows: Vec<(Vec<(u32, i64)>, i64)> = Vec::new();
+        for c in self.constraints() {
+            let terms: Vec<(u32, i64)> = c.terms.iter().map(|&(v, k)| (v.0, k)).collect();
+            match c.sense {
+                Sense::Le => rows.push((terms, c.rhs)),
+                Sense::Ge => rows.push((negate_terms(&terms), -c.rhs)),
+                Sense::Eq => {
+                    rows.push((terms.clone(), c.rhs));
+                    rows.push((negate_terms(&terms), -c.rhs));
+                }
+            }
+        }
+
+        let n = self.var_count();
+        // Component decomposition (union-find over rows).
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
+            }
+            i
+        }
+        for (terms, _) in &rows {
+            if let Some(&(first, _)) = terms.first() {
+                let r0 = find(&mut parent, first);
+                for &(v, _) in &terms[1..] {
+                    let rv = find(&mut parent, v);
+                    parent[rv as usize] = r0;
+                }
+            }
+        }
+        let mut comp_vars: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
+        for v in 0..n as u32 {
+            comp_vars.entry(find(&mut parent, v)).or_default().push(v);
+        }
+        let mut comp_rows: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, (terms, _)) in rows.iter().enumerate() {
+            if let Some(&(v, _)) = terms.first() {
+                comp_rows
+                    .entry(find(&mut parent, v))
+                    .or_default()
+                    .push(i);
+            } else {
+                // Empty row: trivially feasible iff 0 <= rhs.
+                if rows[i].1 < 0 {
+                    return infeasible(self, n);
+                }
+            }
+        }
+
+        let mut values = vec![false; n];
+        let mut total_obj: i64 = 0;
+        let mut total_bound: i64 = 0;
+        let mut all_optimal = true;
+        let mut any_unknown = false;
+        let mut nodes_total = 0u64;
+
+        // Deterministic component order.
+        let mut roots: Vec<u32> = comp_vars.keys().copied().collect();
+        roots.sort_unstable();
+        for root in roots {
+            let vars = &comp_vars[&root];
+            let row_ids = comp_rows.get(&root).map(|v| v.as_slice()).unwrap_or(&[]);
+            if row_ids.is_empty() {
+                // Unconstrained variables: set by objective sign.
+                for &v in vars {
+                    let c = obj[v as usize];
+                    values[v as usize] = c > 0;
+                    let gain = if c > 0 { c } else { 0 };
+                    total_obj += gain;
+                    total_bound += gain;
+                }
+                continue;
+            }
+            let mut search = ComponentSearch::new(vars, row_ids, &rows, &obj);
+            if let Some(ws) = &options.warm_start {
+                search.try_incumbent_from(ws);
+            }
+            let outcome = search.run(deadline, &mut nodes_total);
+            match outcome {
+                ComponentOutcome::Infeasible => return infeasible(self, n),
+                ComponentOutcome::Solved { proven } => {
+                    let (best, bound) = (search.best_obj, search.best_bound);
+                    for (local, &v) in vars.iter().enumerate() {
+                        values[v as usize] = search.best_values[local];
+                    }
+                    total_obj += best;
+                    total_bound += if proven { best } else { bound };
+                    if !proven {
+                        all_optimal = false;
+                    }
+                }
+                ComponentOutcome::NoIncumbent => {
+                    any_unknown = true;
+                    all_optimal = false;
+                    total_bound += search.best_bound;
+                }
+            }
+        }
+
+        let status = if any_unknown {
+            SolveStatus::Unknown
+        } else if all_optimal {
+            SolveStatus::Optimal
+        } else {
+            SolveStatus::Feasible
+        };
+        let (objective, best_bound) = if negate {
+            (-total_obj, -total_bound)
+        } else {
+            (total_obj, total_bound)
+        };
+        debug_assert!(
+            status != SolveStatus::Optimal || self.is_feasible(&values),
+            "optimal solution must be feasible"
+        );
+        Solution {
+            values,
+            objective,
+            best_bound,
+            status,
+            nodes: nodes_total,
+        }
+    }
+}
+
+fn infeasible(model: &Model, n: usize) -> Solution {
+    let _ = model;
+    Solution {
+        values: vec![false; n],
+        objective: 0,
+        best_bound: 0,
+        status: SolveStatus::Infeasible,
+        nodes: 0,
+    }
+}
+
+fn negate_terms(terms: &[(u32, i64)]) -> Vec<(u32, i64)> {
+    terms.iter().map(|&(v, c)| (v, -c)).collect()
+}
+
+enum ComponentOutcome {
+    Solved { proven: bool },
+    Infeasible,
+    NoIncumbent,
+}
+
+/// DFS branch and bound over one connected component.
+struct ComponentSearch {
+    /// Global ids of the component's variables (local index order).
+    globals: Vec<u32>,
+    /// Local rows: (terms with local var ids, rhs).
+    rows: Vec<(Vec<(u32, i64)>, i64)>,
+    /// Per-row running minimum activity.
+    min_act: Vec<i64>,
+    /// Per local var: rows it appears in, with coefficients.
+    var_rows: Vec<Vec<(u32, i64)>>,
+    obj: Vec<i64>,
+    /// -1 unassigned, 0 / 1 assigned.
+    values: Vec<i8>,
+    trail: Vec<u32>,
+    decisions: Vec<Decision>,
+    fixed_obj: i64,
+    ub_slack: i64,
+    /// Group index per local var (-1 = ungrouped). Groups come from
+    /// at-most-one packing rows and tighten the objective bound.
+    group_of: Vec<i32>,
+    groups: Vec<Vec<u32>>,
+    group_cache: Vec<i64>,
+    best_obj: i64,
+    best_values: Vec<bool>,
+    has_incumbent: bool,
+    /// Upper bound proven at the root (used for gap on timeout).
+    best_bound: i64,
+    /// Branch order: locals sorted by decreasing |objective|, then
+    /// constraint participation.
+    branch_order: Vec<u32>,
+}
+
+struct Decision {
+    var: u32,
+    second: i8,
+    trail_mark: usize,
+    tried_second: bool,
+}
+
+impl ComponentSearch {
+    fn new(
+        vars: &[u32],
+        row_ids: &[usize],
+        all_rows: &[(Vec<(u32, i64)>, i64)],
+        global_obj: &[i64],
+    ) -> ComponentSearch {
+        let mut local_of = std::collections::HashMap::new();
+        for (i, &g) in vars.iter().enumerate() {
+            local_of.insert(g, i as u32);
+        }
+        let mut rows = Vec::with_capacity(row_ids.len());
+        for &r in row_ids {
+            let (terms, rhs) = &all_rows[r];
+            let local_terms: Vec<(u32, i64)> =
+                terms.iter().map(|&(v, c)| (local_of[&v], c)).collect();
+            rows.push((local_terms, *rhs));
+        }
+        let n = vars.len();
+        let mut var_rows = vec![Vec::new(); n];
+        let mut min_act = vec![0i64; rows.len()];
+        for (ri, (terms, _)) in rows.iter().enumerate() {
+            for &(v, c) in terms {
+                var_rows[v as usize].push((ri as u32, c));
+                if c < 0 {
+                    min_act[ri] += c;
+                }
+            }
+        }
+        let obj: Vec<i64> = vars.iter().map(|&g| global_obj[g as usize]).collect();
+        // Group variables by at-most-one packing rows (rhs = 1, all
+        // coefficients 1): within such a group at most one variable
+        // can be 1, so the group's bound contribution is the max
+        // positive objective, not the sum.
+        let mut group_of = vec![-1i32; n];
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut row_order: Vec<usize> = (0..rows.len()).collect();
+        row_order.sort_by_key(|&r| std::cmp::Reverse(rows[r].0.len()));
+        for r in row_order {
+            let (terms, rhs) = &rows[r];
+            if *rhs != 1 || terms.iter().any(|&(_, c)| c != 1) {
+                continue;
+            }
+            let members: Vec<u32> = terms
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|&v| group_of[v as usize] < 0)
+                .collect();
+            if members.len() >= 2 {
+                for &v in &members {
+                    group_of[v as usize] = groups.len() as i32;
+                }
+                groups.push(members);
+            }
+        }
+        let group_cache: Vec<i64> = groups
+            .iter()
+            .map(|g| g.iter().map(|&v| obj[v as usize].max(0)).max().unwrap_or(0))
+            .collect();
+        let mut ub_slack: i64 = group_cache.iter().sum();
+        for v in 0..n {
+            if group_of[v] < 0 {
+                ub_slack += obj[v].max(0);
+            }
+        }
+        let mut branch_order: Vec<u32> = (0..n as u32).collect();
+        branch_order.sort_by_key(|&v| {
+            (
+                std::cmp::Reverse(obj[v as usize].abs()),
+                std::cmp::Reverse(var_rows[v as usize].len()),
+                v,
+            )
+        });
+        ComponentSearch {
+            globals: vars.to_vec(),
+            rows,
+            min_act,
+            var_rows,
+            obj,
+            values: vec![-1; n],
+            trail: Vec::new(),
+            decisions: Vec::new(),
+            fixed_obj: 0,
+            ub_slack,
+            group_of,
+            groups,
+            group_cache,
+            best_obj: i64::MIN,
+            best_values: vec![false; n],
+            has_incumbent: false,
+            best_bound: ub_slack,
+            branch_order,
+        }
+    }
+
+    /// Installs a warm-start incumbent if it satisfies the component.
+    fn try_incumbent_from(&mut self, global_values: &[bool]) {
+        let vals: Vec<bool> = self
+            .globals
+            .iter()
+            .map(|&g| global_values.get(g as usize).copied().unwrap_or(false))
+            .collect();
+        for (terms, rhs) in &self.rows {
+            let lhs: i64 = terms
+                .iter()
+                .map(|&(v, c)| if vals[v as usize] { c } else { 0 })
+                .sum();
+            if lhs > *rhs {
+                return;
+            }
+        }
+        let o: i64 = self
+            .obj
+            .iter()
+            .zip(&vals)
+            .map(|(&c, &v)| if v { c } else { 0 })
+            .sum();
+        if o > self.best_obj {
+            self.best_obj = o;
+            self.best_values = vals;
+            self.has_incumbent = true;
+        }
+    }
+
+    /// Bound contribution of group `g` under the current assignment.
+    fn compute_group(&self, g: usize) -> i64 {
+        let mut best = 0i64;
+        for &v in &self.groups[g] {
+            match self.values[v as usize] {
+                1 => return 0, // the group's one slot is spent
+                -1 => best = best.max(self.obj[v as usize].max(0)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    fn update_slack_for(&mut self, var: u32) {
+        let g = self.group_of[var as usize];
+        if g >= 0 {
+            let old = self.group_cache[g as usize];
+            let new = self.compute_group(g as usize);
+            self.group_cache[g as usize] = new;
+            self.ub_slack += new - old;
+        } else if self.values[var as usize] == -1 {
+            self.ub_slack += self.obj[var as usize].max(0);
+        } else {
+            self.ub_slack -= self.obj[var as usize].max(0);
+        }
+    }
+
+    /// Assigns `var := val`, updating activities; returns the rows
+    /// whose min-activity changed.
+    fn assign(&mut self, var: u32, val: i8, touched: &mut Vec<u32>) {
+        debug_assert_eq!(self.values[var as usize], -1);
+        self.values[var as usize] = val;
+        self.trail.push(var);
+        let c_obj = self.obj[var as usize];
+        self.update_slack_for(var);
+        if val == 1 {
+            self.fixed_obj += c_obj;
+        }
+        for i in 0..self.var_rows[var as usize].len() {
+            let (r, c) = self.var_rows[var as usize][i];
+            let delta = if c > 0 && val == 1 {
+                c
+            } else if c < 0 && val == 0 {
+                -c
+            } else {
+                0
+            };
+            if delta != 0 {
+                self.min_act[r as usize] += delta;
+                touched.push(r);
+            }
+        }
+    }
+
+    /// Undoes trail entries down to `mark`.
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().expect("trail not empty");
+            let val = self.values[var as usize];
+            self.values[var as usize] = -1;
+            let c_obj = self.obj[var as usize];
+            self.update_slack_for(var);
+            if val == 1 {
+                self.fixed_obj -= c_obj;
+            }
+            for i in 0..self.var_rows[var as usize].len() {
+                let (r, c) = self.var_rows[var as usize][i];
+                let delta = if c > 0 && val == 1 {
+                    c
+                } else if c < 0 && val == 0 {
+                    -c
+                } else {
+                    0
+                };
+                self.min_act[r as usize] -= delta;
+            }
+        }
+    }
+
+    /// Propagates implications from the touched rows. Returns `false`
+    /// on conflict.
+    fn propagate(&mut self, mut queue: Vec<u32>) -> bool {
+        while let Some(r) = queue.pop() {
+            let (ref terms, rhs) = self.rows[r as usize];
+            let act = self.min_act[r as usize];
+            if act > rhs {
+                return false;
+            }
+            // Find forced assignments.
+            let mut forced: Vec<(u32, i8)> = Vec::new();
+            for &(v, c) in terms {
+                if self.values[v as usize] != -1 {
+                    continue;
+                }
+                if c > 0 && act + c > rhs {
+                    forced.push((v, 0));
+                } else if c < 0 && act - c > rhs {
+                    forced.push((v, 1));
+                }
+            }
+            for (v, val) in forced {
+                if self.values[v as usize] != -1 {
+                    if self.values[v as usize] != val {
+                        return false;
+                    }
+                    continue;
+                }
+                self.assign(v, val, &mut queue);
+            }
+        }
+        true
+    }
+
+    fn assign_and_propagate(&mut self, var: u32, val: i8) -> bool {
+        let mut touched = Vec::new();
+        self.assign(var, val, &mut touched);
+        self.propagate(touched)
+    }
+
+    fn pick_branch_var(&self) -> Option<u32> {
+        self.branch_order
+            .iter()
+            .copied()
+            .find(|&v| self.values[v as usize] == -1)
+    }
+
+    /// Backtracks to the most recent decision with an untried value;
+    /// returns `false` when the search space is exhausted.
+    fn backtrack(&mut self) -> bool {
+        while let Some(mut d) = self.decisions.pop() {
+            self.undo_to(d.trail_mark);
+            if !d.tried_second {
+                d.tried_second = true;
+                let (var, val) = (d.var, d.second);
+                self.decisions.push(d);
+                if self.assign_and_propagate(var, val) {
+                    return true;
+                }
+                // Second value conflicts too: keep unwinding.
+                continue;
+            }
+        }
+        false
+    }
+
+    fn record_incumbent(&mut self) {
+        if self.fixed_obj > self.best_obj {
+            self.best_obj = self.fixed_obj;
+            self.has_incumbent = true;
+            for (i, &v) in self.values.iter().enumerate() {
+                self.best_values[i] = v == 1;
+            }
+        }
+    }
+
+    fn run(&mut self, deadline: Option<Instant>, nodes_total: &mut u64) -> ComponentOutcome {
+        // Root propagation.
+        let all_rows: Vec<u32> = (0..self.rows.len() as u32).collect();
+        if !self.propagate(all_rows) {
+            return ComponentOutcome::Infeasible;
+        }
+        self.best_bound = self.fixed_obj + self.ub_slack;
+        let mut nodes = 0u64;
+        let mut timed_out = false;
+        loop {
+            nodes += 1;
+            if nodes.is_multiple_of(4096) {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        timed_out = true;
+                        break;
+                    }
+                }
+            }
+            // Bound: can this subtree beat the incumbent?
+            if self.has_incumbent && self.fixed_obj + self.ub_slack <= self.best_obj {
+                if !self.backtrack() {
+                    break;
+                }
+                continue;
+            }
+            match self.pick_branch_var() {
+                None => {
+                    self.record_incumbent();
+                    if !self.backtrack() {
+                        break;
+                    }
+                }
+                Some(v) => {
+                    let first: i8 = if self.obj[v as usize] >= 0 { 1 } else { 0 };
+                    self.decisions.push(Decision {
+                        var: v,
+                        second: 1 - first,
+                        trail_mark: self.trail.len(),
+                        tried_second: false,
+                    });
+                    if !self.assign_and_propagate(v, first) && !self.backtrack() {
+                        break;
+                    }
+                }
+            }
+        }
+        *nodes_total += nodes;
+        if !self.has_incumbent {
+            if timed_out {
+                ComponentOutcome::NoIncumbent
+            } else {
+                ComponentOutcome::Infeasible
+            }
+        } else {
+            ComponentOutcome::Solved { proven: !timed_out }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarId};
+
+    fn knapsack(weights: &[i64], profits: &[i64], cap: i64) -> Model {
+        let mut m = Model::maximize();
+        let vars = m.add_vars(weights.len());
+        for (i, &v) in vars.iter().enumerate() {
+            m.set_objective_coeff(v, profits[i]);
+        }
+        m.add_constraint(
+            vars.iter().copied().zip(weights.iter().copied()),
+            Sense::Le,
+            cap,
+        );
+        m
+    }
+
+    /// Exhaustive optimum for cross-checking.
+    fn brute_force(m: &Model) -> Option<i64> {
+        let n = m.var_count();
+        assert!(n <= 20);
+        let mut best = None;
+        for mask in 0u32..(1 << n) {
+            let values: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if m.is_feasible(&values) {
+                let o = m.objective_value(&values);
+                best = Some(best.map_or(o, |b: i64| b.max(o)));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn solves_knapsack() {
+        let m = knapsack(&[3, 4, 5, 9], &[4, 5, 6, 11], 11);
+        let sol = m.solve(&SolveOptions::default());
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 11); // items 1 and 2 (weight 9, profit 11)
+        assert!(m.is_feasible(&sol.values));
+        assert_eq!(sol.objective, m.objective_value(&sol.values));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut m = Model::maximize();
+        let x = m.add_var();
+        m.add_constraint([(x, 1)], Sense::Ge, 1);
+        m.add_constraint([(x, 1)], Sense::Le, 0);
+        let sol = m.solve(&SolveOptions::default());
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // Exactly one of three, maximize weighted choice.
+        let mut m = Model::maximize();
+        let v = m.add_vars(3);
+        for (i, &x) in v.iter().enumerate() {
+            m.set_objective_coeff(x, (i as i64) + 1);
+        }
+        m.add_constraint(v.iter().map(|&x| (x, 1)), Sense::Eq, 1);
+        let sol = m.solve(&SolveOptions::default());
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 3);
+        assert_eq!(sol.values, vec![false, false, true]);
+    }
+
+    #[test]
+    fn minimization_works() {
+        // Cover constraint: x + y >= 1, minimize 2x + 3y -> x.
+        let mut m = Model::minimize();
+        let x = m.add_var();
+        let y = m.add_var();
+        m.set_objective_coeff(x, 2);
+        m.set_objective_coeff(y, 3);
+        m.add_constraint([(x, 1), (y, 1)], Sense::Ge, 1);
+        let sol = m.solve(&SolveOptions::default());
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 2);
+        assert_eq!(sol.values, vec![true, false]);
+    }
+
+    #[test]
+    fn unconstrained_vars_follow_objective() {
+        let mut m = Model::maximize();
+        let x = m.add_var();
+        let y = m.add_var();
+        m.set_objective_coeff(x, 5);
+        m.set_objective_coeff(y, -5);
+        let sol = m.solve(&SolveOptions::default());
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 5);
+        assert_eq!(sol.values, vec![true, false]);
+    }
+
+    #[test]
+    fn components_solve_independently() {
+        // Two disjoint packing problems.
+        let mut m = Model::maximize();
+        let a = m.add_vars(2);
+        let b = m.add_vars(2);
+        for &v in a.iter().chain(&b) {
+            m.set_objective_coeff(v, 1);
+        }
+        m.add_constraint([(a[0], 1), (a[1], 1)], Sense::Le, 1);
+        m.add_constraint([(b[0], 1), (b[1], 1)], Sense::Le, 1);
+        let sol = m.solve(&SolveOptions::default());
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 2);
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let m = knapsack(&[1; 10], &[1; 10], 5);
+        let ws = vec![true, true, true, true, true, false, false, false, false, false];
+        let sol = m.solve(&SolveOptions {
+            warm_start: Some(ws),
+            ..SolveOptions::default()
+        });
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 5);
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_ignored() {
+        let m = knapsack(&[2, 2], &[1, 1], 2);
+        let sol = m.solve(&SolveOptions {
+            warm_start: Some(vec![true, true]),
+            ..SolveOptions::default()
+        });
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_models() {
+        // Deterministic pseudo-random models, cross-checked
+        // exhaustively.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..40 {
+            let n = 4 + (rng() % 8) as usize; // 4..12 vars
+            let mut m = Model::maximize();
+            let vars = m.add_vars(n);
+            for &v in &vars {
+                m.set_objective_coeff(v, (rng() % 21) as i64 - 10);
+            }
+            let rows = 2 + (rng() % 6) as usize;
+            for _ in 0..rows {
+                let mut terms = Vec::new();
+                for &v in &vars {
+                    if rng() % 3 == 0 {
+                        terms.push((v, (rng() % 9) as i64 - 4));
+                    }
+                }
+                let sense = match rng() % 3 {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                let rhs = (rng() % 7) as i64 - 2;
+                m.add_constraint(terms, sense, rhs);
+            }
+            let sol = m.solve(&SolveOptions::default());
+            match brute_force(&m) {
+                Some(best) => {
+                    assert!(sol.is_optimal(), "trial {trial}: expected optimal");
+                    assert!(m.is_feasible(&sol.values), "trial {trial}: infeasible answer");
+                    assert_eq!(sol.objective, best, "trial {trial}: wrong optimum");
+                    assert_eq!(sol.objective, m.objective_value(&sol.values));
+                }
+                None => {
+                    assert_eq!(
+                        sol.status,
+                        SolveStatus::Infeasible,
+                        "trial {trial}: expected infeasible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn time_limit_reports_gap() {
+        // A large independent-set-ish model the solver cannot finish
+        // in zero time: with a zero time limit we must still get a
+        // valid status and a bound >= objective.
+        let mut m = Model::maximize();
+        let n = 60;
+        let vars = m.add_vars(n);
+        for &v in &vars {
+            m.set_objective_coeff(v, 1);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (i + j) % 3 == 0 {
+                    m.add_constraint([(vars[i], 1), (vars[j], 1)], Sense::Le, 1);
+                }
+            }
+        }
+        let sol = m.solve(&SolveOptions {
+            time_limit: Some(Duration::from_millis(0)),
+            ..SolveOptions::default()
+        });
+        match sol.status {
+            SolveStatus::Optimal | SolveStatus::Feasible => {
+                assert!(m.is_feasible(&sol.values));
+                assert!(sol.best_bound >= sol.objective);
+            }
+            SolveStatus::Unknown => {}
+            SolveStatus::Infeasible => panic!("model is feasible"),
+        }
+    }
+
+    #[test]
+    fn empty_model_is_optimal() {
+        let m = Model::maximize();
+        let sol = m.solve(&SolveOptions::default());
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 0);
+        assert!(sol.values.is_empty());
+    }
+
+    #[test]
+    fn big_m_constraints() {
+        // y >= x via big-M style: x - y <= 0; maximize x - costs.
+        let mut m = Model::maximize();
+        let x = m.add_var();
+        let y = m.add_var();
+        m.set_objective_coeff(x, 10);
+        m.set_objective_coeff(y, -3);
+        m.add_constraint([(x, 1), (y, -1)], Sense::Le, 0);
+        let sol = m.solve(&SolveOptions::default());
+        assert!(sol.is_optimal());
+        assert_eq!(sol.objective, 7);
+        assert_eq!(sol.values, vec![true, true]);
+    }
+
+    #[test]
+    fn var_id_display() {
+        assert_eq!(VarId(3).to_string(), "x3");
+    }
+}

@@ -1,0 +1,85 @@
+//! The exact shapes of the DVI constraint families, solved standalone:
+//! a regression net for the `bilp` features the `dvi` crate leans on
+//! (equality color rows, big-M implications, packing groups).
+
+use bilp::{Model, Sense, SolveOptions, VarId};
+
+/// Builds a miniature C1/C3/C5-style model: two vias within pitch,
+/// each with two candidates sharing one location.
+fn mini_dvi() -> (Model, Vec<VarId>, Vec<VarId>) {
+    let mut m = Model::maximize();
+    // D variables for 4 candidates.
+    let d = m.add_vars(4);
+    for &v in &d {
+        m.set_objective_coeff(v, 1);
+    }
+    // C1: candidate pairs (0,1) belong to via A, (2,3) to via B.
+    m.add_constraint([(d[0], 1), (d[1], 1)], Sense::Le, 1);
+    m.add_constraint([(d[2], 1), (d[3], 1)], Sense::Le, 1);
+    // C2: candidates 1 and 2 share a location.
+    m.add_constraint([(d[1], 1), (d[2], 1)], Sense::Le, 1);
+    // Color rows for the two vias: exactly one of three colors or
+    // uncolorable (penalized).
+    let mut colors = Vec::new();
+    for _ in 0..2 {
+        let c = m.add_vars(4); // o, g, b, u
+        m.set_objective_coeff(c[3], -100);
+        m.add_constraint(c.iter().map(|&v| (v, 1)), Sense::Eq, 1);
+        colors.extend(c);
+    }
+    // Same-color pitch: the two vias must differ per color.
+    for k in 0..3 {
+        m.add_constraint([(colors[k], 1), (colors[4 + k], 1)], Sense::Le, 1);
+    }
+    (m, d, colors)
+}
+
+#[test]
+fn mini_dvi_solves_to_two_insertions() {
+    let (m, d, colors) = mini_dvi();
+    let sol = m.solve(&SolveOptions::default());
+    assert!(sol.is_optimal());
+    // Both vias protected (2 insertions), no uncolorable via.
+    let inserted = d.iter().filter(|v| sol.values[v.index()]).count();
+    assert_eq!(inserted, 2);
+    assert!(!sol.values[colors[3].index()]);
+    assert!(!sol.values[colors[7].index()]);
+    assert_eq!(sol.objective, 2);
+    // The C2 conflict is respected.
+    assert!(!(sol.values[d[1].index()] && sol.values[d[2].index()]));
+}
+
+#[test]
+fn forcing_uncolorable_is_dominated() {
+    // Adding a third mutually-conflicting via makes 3 colors exactly
+    // sufficient; a fourth forces one uncolorable.
+    let mut m = Model::maximize();
+    let mut color_vars = Vec::new();
+    let n = 4;
+    for _ in 0..n {
+        let c = m.add_vars(4);
+        m.set_objective_coeff(c[3], -1);
+        m.add_constraint(c.iter().map(|&v| (v, 1)), Sense::Eq, 1);
+        color_vars.push(c);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in 0..3 {
+                m.add_constraint(
+                    [(color_vars[i][k], 1), (color_vars[j][k], 1)],
+                    Sense::Le,
+                    1,
+                );
+            }
+        }
+    }
+    let sol = m.solve(&SolveOptions::default());
+    assert!(sol.is_optimal());
+    // K4 with 3 colors: exactly one vertex is uncolorable.
+    let uncolored = color_vars
+        .iter()
+        .filter(|c| sol.values[c[3].index()])
+        .count();
+    assert_eq!(uncolored, 1);
+    assert_eq!(sol.objective, -1);
+}

@@ -1,0 +1,115 @@
+//! Property-based validation of the branch-and-bound solver against
+//! exhaustive enumeration.
+
+use proptest::prelude::*;
+
+use bilp::{Model, Sense, SolveOptions, SolveStatus, VarId};
+
+type RandomRow = (Vec<(usize, i64)>, u8, i64);
+
+#[derive(Debug, Clone)]
+struct RandomModel {
+    n: usize,
+    obj: Vec<i64>,
+    rows: Vec<RandomRow>,
+    minimize: bool,
+}
+
+fn arb_model() -> impl Strategy<Value = RandomModel> {
+    (2usize..10, any::<bool>()).prop_flat_map(|(n, minimize)| {
+        let obj = proptest::collection::vec(-8i64..9, n);
+        let row = (
+            proptest::collection::vec((0usize..n, -4i64..5), 1..n + 1),
+            0u8..3,
+            -3i64..6,
+        );
+        let rows = proptest::collection::vec(row, 0..6);
+        (Just(n), obj, rows, Just(minimize)).prop_map(|(n, obj, rows, minimize)| RandomModel {
+            n,
+            obj,
+            rows,
+            minimize,
+        })
+    })
+}
+
+fn build(m: &RandomModel) -> Model {
+    let mut model = if m.minimize {
+        Model::minimize()
+    } else {
+        Model::maximize()
+    };
+    let vars = model.add_vars(m.n);
+    for (i, &c) in m.obj.iter().enumerate() {
+        model.set_objective_coeff(vars[i], c);
+    }
+    for (terms, sense, rhs) in &m.rows {
+        let sense = match sense {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        model.add_constraint(terms.iter().map(|&(v, c)| (VarId(v as u32), c)), sense, *rhs);
+    }
+    model
+}
+
+fn brute(model: &Model, minimize: bool) -> Option<i64> {
+    let n = model.var_count();
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << n) {
+        let values: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        if model.is_feasible(&values) {
+            let o = model.objective_value(&values);
+            best = Some(match best {
+                None => o,
+                Some(b) => {
+                    if minimize {
+                        b.min(o)
+                    } else {
+                        b.max(o)
+                    }
+                }
+            });
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Branch and bound matches exhaustive search on random models,
+    /// in both directions, and returned assignments are feasible.
+    #[test]
+    fn solver_is_exact(m in arb_model()) {
+        let model = build(&m);
+        let sol = model.solve(&SolveOptions::default());
+        match brute(&model, m.minimize) {
+            Some(best) => {
+                prop_assert_eq!(sol.status, SolveStatus::Optimal);
+                prop_assert!(model.is_feasible(&sol.values));
+                prop_assert_eq!(sol.objective, best);
+                prop_assert_eq!(sol.objective, model.objective_value(&sol.values));
+                prop_assert_eq!(sol.best_bound, sol.objective);
+            }
+            None => prop_assert_eq!(sol.status, SolveStatus::Infeasible),
+        }
+    }
+
+    /// Warm starts never change the optimum.
+    #[test]
+    fn warm_start_preserves_optimum(m in arb_model(), ws_mask in any::<u32>()) {
+        let model = build(&m);
+        let cold = model.solve(&SolveOptions::default());
+        let ws: Vec<bool> = (0..m.n).map(|i| ws_mask & (1 << i) != 0).collect();
+        let warm = model.solve(&SolveOptions {
+            warm_start: Some(ws),
+            ..SolveOptions::default()
+        });
+        prop_assert_eq!(cold.status, warm.status);
+        if cold.status == SolveStatus::Optimal {
+            prop_assert_eq!(cold.objective, warm.objective);
+        }
+    }
+}

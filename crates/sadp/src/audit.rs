@@ -1,0 +1,146 @@
+//! Whole-solution SADP legality audit.
+
+use sadp_grid::{GridPoint, RoutingSolution, SadpKind, TurnKind};
+
+use crate::turns::{classify_turn, TurnClass};
+
+/// Census of turn classes across a solution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TurnCounts {
+    /// Turns decomposable without degradation.
+    pub preferred: usize,
+    /// Turns decomposable with degradation.
+    pub non_preferred: usize,
+    /// Undecomposable turns (must be zero for a legal solution).
+    pub forbidden: usize,
+}
+
+/// Result of [`audit_solution`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Turn census over every routed net.
+    pub counts: TurnCounts,
+    /// Location and orientation of each forbidden turn found.
+    pub forbidden: Vec<(GridPoint, TurnKind)>,
+}
+
+impl AuditReport {
+    /// `true` when the solution contains no forbidden turn.
+    pub fn is_clean(&self) -> bool {
+        self.counts.forbidden == 0
+    }
+}
+
+/// Audits every routed net of `solution` against the SADP turn rules
+/// for process `kind`.
+///
+/// A clean report means every metal layer is SADP decomposable under
+/// the color pre-assignment (the property the paper's router
+/// maintains as a hard constraint).
+///
+/// ```
+/// use sadp_grid::{Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid,
+///                 RoutingSolution, SadpKind, Via, WireEdge};
+/// use sadp_decomp::audit_solution;
+///
+/// let mut nl = Netlist::new();
+/// nl.push(Net::new("a", vec![Pin::new(0, 0), Pin::new(2, 0)]));
+/// let mut sol = RoutingSolution::new(RoutingGrid::three_layer(8, 8), &nl);
+/// sol.set_route(NetId(0), RoutedNet::new(
+///     vec![WireEdge::new(1, 0, 0, Axis::Horizontal),
+///          WireEdge::new(1, 1, 0, Axis::Horizontal)],
+///     vec![Via::new(0, 0, 0), Via::new(0, 2, 0)],
+/// ));
+/// let report = audit_solution(SadpKind::Sim, &sol);
+/// assert!(report.is_clean());
+/// ```
+pub fn audit_solution(kind: SadpKind, solution: &RoutingSolution) -> AuditReport {
+    let mut report = AuditReport::default();
+    for (_, route) in solution.iter() {
+        for (p, turn) in route.turns() {
+            match classify_turn(kind, p.x, p.y, turn) {
+                TurnClass::Preferred => report.counts.preferred += 1,
+                TurnClass::NonPreferred => report.counts.non_preferred += 1,
+                TurnClass::Forbidden => {
+                    report.counts.forbidden += 1;
+                    report.forbidden.push((p, turn));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_grid::{Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, Via, WireEdge};
+
+    fn netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(2, 2), Pin::new(4, 4)]));
+        nl
+    }
+
+    #[test]
+    fn straight_route_is_clean() {
+        let nl = netlist();
+        let mut sol = RoutingSolution::new(RoutingGrid::three_layer(8, 8), &nl);
+        sol.set_route(
+            NetId(0),
+            RoutedNet::new(
+                vec![
+                    WireEdge::new(1, 2, 2, Axis::Horizontal),
+                    WireEdge::new(1, 3, 2, Axis::Horizontal),
+                    WireEdge::new(2, 4, 2, Axis::Vertical),
+                    WireEdge::new(2, 4, 3, Axis::Vertical),
+                ],
+                vec![Via::new(0, 2, 2), Via::new(1, 4, 2), Via::new(0, 4, 4), Via::new(1, 4, 4)],
+            ),
+        );
+        let r = audit_solution(SadpKind::Sim, &sol);
+        assert!(r.is_clean());
+        assert_eq!(r.counts.preferred + r.counts.non_preferred, 0);
+    }
+
+    #[test]
+    fn forbidden_turn_is_reported() {
+        let nl = netlist();
+        let mut sol = RoutingSolution::new(RoutingGrid::three_layer(8, 8), &nl);
+        // L on M2 with corner (2,2), arms east+south: forbidden in SIM.
+        sol.set_route(
+            NetId(0),
+            RoutedNet::new(
+                vec![
+                    WireEdge::new(1, 2, 2, Axis::Horizontal),
+                    WireEdge::new(1, 2, 1, Axis::Vertical),
+                ],
+                vec![],
+            ),
+        );
+        let r = audit_solution(SadpKind::Sim, &sol);
+        assert!(!r.is_clean());
+        assert_eq!(r.counts.forbidden, 1);
+        assert_eq!(r.forbidden[0].0, GridPoint::new(1, 2, 2));
+    }
+
+    #[test]
+    fn preferred_turn_is_counted() {
+        let nl = netlist();
+        let mut sol = RoutingSolution::new(RoutingGrid::three_layer(8, 8), &nl);
+        // Corner (2,2) arms east+north: preferred in SIM.
+        sol.set_route(
+            NetId(0),
+            RoutedNet::new(
+                vec![
+                    WireEdge::new(1, 2, 2, Axis::Horizontal),
+                    WireEdge::new(1, 2, 2, Axis::Vertical),
+                ],
+                vec![],
+            ),
+        );
+        let r = audit_solution(SadpKind::Sim, &sol);
+        assert_eq!(r.counts.preferred, 1);
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,263 @@
+//! Design-rule checks on synthesized mask shapes.
+//!
+//! Shapes that touch or overlap are considered one printed feature
+//! (they merge on the mask); distinct features must respect the
+//! minimum spacing, and every shape must meet the minimum width.
+
+use sadp_grid::{Rect, SadpKind};
+
+use crate::masks::{positive_overlap, MaskSet};
+
+/// Mask design rules, in the same half-pitch units as [`MaskSet`]
+/// geometry (wire width = 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrcRules {
+    /// Minimum feature dimension.
+    pub min_width: i32,
+    /// Minimum spacing between distinct features.
+    pub min_spacing: i32,
+}
+
+impl Default for DrcRules {
+    /// The suite's default rules: width 2, spacing 2 (= wire width and
+    /// wire spacing at minimum pitch).
+    fn default() -> Self {
+        DrcRules {
+            min_width: 2,
+            min_spacing: 2,
+        }
+    }
+}
+
+/// A single design-rule violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrcViolation {
+    /// A shape narrower than the minimum width.
+    Width {
+        /// The offending shape.
+        shape: Rect,
+        /// Its smaller dimension.
+        dim: i32,
+    },
+    /// Two distinct features closer than the minimum spacing.
+    Spacing {
+        /// First shape.
+        a: Rect,
+        /// Second shape.
+        b: Rect,
+        /// Their separation.
+        gap: i32,
+    },
+    /// A mandrel shape overlapping target metal with positive area
+    /// (physically inconsistent: the mandrel region is not metal in
+    /// the final pattern).
+    MandrelOverMetal {
+        /// The mandrel shape.
+        mandrel: Rect,
+        /// The metal shape.
+        metal: Rect,
+    },
+}
+
+/// Bucket size of the spatial hash used to find nearby shape pairs.
+const BIN: i32 = 32;
+
+/// Candidate shape pairs within `slack` of each other, found through a
+/// spatial hash so whole-layer checks stay near-linear.
+fn nearby_pairs(shapes: &[Rect], slack: i32) -> Vec<(usize, usize)> {
+    let mut buckets: std::collections::HashMap<(i32, i32), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, s) in shapes.iter().enumerate() {
+        let (bx0, bx1) = ((s.x0 - slack).div_euclid(BIN), (s.x1 + slack).div_euclid(BIN));
+        let (by0, by1) = ((s.y0 - slack).div_euclid(BIN), (s.y1 + slack).div_euclid(BIN));
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                buckets.entry((bx, by)).or_default().push(i);
+            }
+        }
+    }
+    let mut pairs = std::collections::BTreeSet::new();
+    for list in buckets.values() {
+        for (k, &i) in list.iter().enumerate() {
+            for &j in &list[k + 1..] {
+                if shapes[i].spacing(&shapes[j]) <= slack {
+                    pairs.insert((i.min(j), i.max(j)));
+                }
+            }
+        }
+    }
+    pairs.into_iter().collect()
+}
+
+/// Checks one mask (a set of rectangles) against the rules.
+///
+/// Shapes are first merged into features by touching/overlap; width is
+/// checked per rectangle, spacing between features. A spatial hash
+/// keeps whole-layer checks near-linear in the shape count.
+pub fn check_rects(shapes: &[Rect], rules: &DrcRules) -> Vec<DrcViolation> {
+    let mut out = Vec::new();
+    for s in shapes {
+        let dim = s.width().min(s.height());
+        if dim < rules.min_width {
+            out.push(DrcViolation::Width { shape: *s, dim });
+        }
+    }
+    let pairs = nearby_pairs(shapes, rules.min_spacing.max(1));
+    // Union-find over touching shapes.
+    let n = shapes.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for &(i, j) in &pairs {
+        if shapes[i].intersects(&shapes[j]) {
+            let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+            parent[a] = b;
+        }
+    }
+    for &(i, j) in &pairs {
+        if find(&mut parent, i) != find(&mut parent, j) {
+            let gap = shapes[i].spacing(&shapes[j]);
+            if gap < rules.min_spacing {
+                out.push(DrcViolation::Spacing {
+                    a: shapes[i],
+                    b: shapes[j],
+                    gap,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs all checks over a synthesized mask set: core-mask (mandrel)
+/// width/spacing, cut-or-trim width/spacing, and the mandrel/metal
+/// consistency check (SIM only — in SID the mandrel *is* metal on
+/// black tracks).
+pub fn check_mask_set(masks: &MaskSet, rules: &DrcRules, kind: SadpKind) -> Vec<DrcViolation> {
+    let mut out = check_rects(&masks.mandrel, rules);
+    out.extend(check_rects(&masks.aux, rules));
+    if kind.is_spacer_is_metal() {
+        for m in &masks.mandrel {
+            for t in &masks.metal {
+                if positive_overlap(m, t) {
+                    out.push(DrcViolation::MandrelOverMetal {
+                        mandrel: *m,
+                        metal: *t,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masks::decompose_layer;
+    use sadp_grid::{Axis, SadpKind, WireEdge};
+
+    #[test]
+    fn clean_shapes_pass() {
+        let shapes = vec![Rect::new(0, 0, 4, 2), Rect::new(0, 4, 4, 6)];
+        assert!(check_rects(&shapes, &DrcRules::default()).is_empty());
+    }
+
+    #[test]
+    fn narrow_shape_flagged() {
+        let shapes = vec![Rect::new(0, 0, 4, 1)];
+        let v = check_rects(&shapes, &DrcRules::default());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], DrcViolation::Width { dim: 1, .. }));
+    }
+
+    #[test]
+    fn close_features_flagged() {
+        let shapes = vec![Rect::new(0, 0, 4, 2), Rect::new(0, 3, 4, 5)];
+        let v = check_rects(&shapes, &DrcRules::default());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], DrcViolation::Spacing { gap: 1, .. }));
+    }
+
+    #[test]
+    fn touching_shapes_merge_into_one_feature() {
+        // Touching shapes are one feature: no spacing violation.
+        let shapes = vec![Rect::new(0, 0, 4, 2), Rect::new(4, 0, 8, 2)];
+        assert!(check_rects(&shapes, &DrcRules::default()).is_empty());
+    }
+
+    #[test]
+    fn transitive_merge() {
+        // a touches b, b touches c: all one feature even though a and
+        // c are 8 apart.
+        let shapes = vec![
+            Rect::new(0, 0, 4, 2),
+            Rect::new(4, 0, 8, 2),
+            Rect::new(8, 0, 12, 2),
+        ];
+        assert!(check_rects(&shapes, &DrcRules::default()).is_empty());
+    }
+
+    /// Every decomposable single-net layout pattern we synthesize must
+    /// be DRC clean — straight wires, preferred and non-preferred
+    /// turns, in both processes.
+    #[test]
+    fn synthesized_masks_are_clean() {
+        let cases: Vec<(SadpKind, Vec<WireEdge>)> = vec![
+            // Straight wires.
+            (
+                SadpKind::Sim,
+                (0..4).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect(),
+            ),
+            (
+                SadpKind::Sid,
+                (0..4).map(|x| WireEdge::new(1, x, 3, Axis::Horizontal)).collect(),
+            ),
+            // Preferred turn (SIM, corner 2,2).
+            (SadpKind::Sim, {
+                let mut e: Vec<WireEdge> =
+                    (2..5).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect();
+                e.extend((2..5).map(|y| WireEdge::new(1, 2, y, Axis::Vertical)));
+                e
+            }),
+            // Non-preferred turn (SIM, corner 3,3).
+            (SadpKind::Sim, {
+                let mut e: Vec<WireEdge> =
+                    (3..6).map(|x| WireEdge::new(1, x, 3, Axis::Horizontal)).collect();
+                e.extend((3..6).map(|y| WireEdge::new(1, 3, y, Axis::Vertical)));
+                e
+            }),
+            // Preferred turn (SID, corner 2,2 — both black tracks).
+            (SadpKind::Sid, {
+                let mut e: Vec<WireEdge> =
+                    (2..5).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect();
+                e.extend((2..5).map(|y| WireEdge::new(1, 2, y, Axis::Vertical)));
+                e
+            }),
+        ];
+        for (kind, edges) in cases {
+            let masks = decompose_layer(kind, &edges).unwrap();
+            let v = check_mask_set(&masks, &DrcRules::default(), kind);
+            assert!(v.is_empty(), "{kind}: unexpected violations {v:?}");
+        }
+    }
+
+    #[test]
+    fn mandrel_over_metal_flagged() {
+        let masks = crate::masks::MaskSet {
+            metal: vec![Rect::new(0, 0, 4, 2)],
+            mandrel: vec![Rect::new(2, 0, 6, 2)],
+            spacer: vec![],
+            aux: vec![],
+        };
+        let v = check_mask_set(&masks, &DrcRules::default(), SadpKind::Sim);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, DrcViolation::MandrelOverMetal { .. })));
+    }
+}

@@ -1,0 +1,463 @@
+//! Mandrel / spacer / cut-or-trim mask synthesis for one routed metal
+//! layer.
+//!
+//! Geometry convention: track `i` maps to coordinate `4·i`; wires are
+//! 2 units wide (`[4i-1, 4i+1]`), mandrels 2 units wide, spacers 2
+//! units wide — i.e. wire width = spacer width = half the track pitch,
+//! the standard SADP pitch-splitting arrangement.
+//!
+//! * **SIM (cut approach):** each maximal straight wire run gets a
+//!   mandrel in its adjacent grey panel (side given by
+//!   [`crate::turns::mandrel_side_horizontal`] /
+//!   [`crate::turns::mandrel_side_vertical`]), inset by 2 units from
+//!   the run ends so the wrap-around end-cap spacer finishes the wire.
+//!   At a preferred turn the two arms' mandrels overlap and merge into
+//!   one L-shaped mandrel; at a non-preferred turn they stay apart at
+//!   exactly the minimum mask spacing. The cut mask is the spacer
+//!   ring minus the target metal.
+//! * **SID (trim approach):** mandrels form along black tracks (they
+//!   coincide with the wire there); grey-track wires are defined
+//!   between spacers; the trim mask covers all target metal.
+//!
+//! Following the paper's Fig. 4(d), **no masks are drawn for
+//! forbidden turns** — they are undecomposable, and synthesis returns
+//! [`DecomposeError::ForbiddenTurn`]. The [`crate::drc`] checks act as
+//! a safety net over what is synthesized.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sadp_grid::{Axis, Dir, Rect, RoutedNet, SadpKind, TurnKind, WireEdge};
+
+use crate::turns::{
+    classify_turn, mandrel_side_horizontal, mandrel_side_vertical, sid_track_is_black, TurnClass,
+};
+
+/// The synthesized masks of one metal layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaskSet {
+    /// Target metal shapes (for reference / rendering).
+    pub metal: Vec<Rect>,
+    /// Core-mask (mandrel) shapes.
+    pub mandrel: Vec<Rect>,
+    /// Spacer regions (deposited around mandrels; SIM only).
+    pub spacer: Vec<Rect>,
+    /// Cut-mask (SIM) or trim-mask (SID) shapes.
+    pub aux: Vec<Rect>,
+}
+
+/// Why a layer could not be decomposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// The layout contains a forbidden turn at the given corner.
+    ForbiddenTurn {
+        /// Corner x track.
+        x: i32,
+        /// Corner y track.
+        y: i32,
+        /// Orientation of the offending turn.
+        turn: TurnKind,
+    },
+    /// Edges from more than one metal layer were supplied.
+    MixedLayers,
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::ForbiddenTurn { x, y, turn } => {
+                write!(f, "forbidden {turn} turn at ({x},{y}) is undecomposable")
+            }
+            DecomposeError::MixedLayers => write!(f, "edges span multiple metal layers"),
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// A maximal straight run of wire on one track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    axis: Axis,
+    /// The track the run lies on (y for horizontal, x for vertical).
+    track: i32,
+    /// First covered track index along the run.
+    lo: i32,
+    /// Last covered track index along the run (`hi > lo`).
+    hi: i32,
+}
+
+impl Run {
+    fn metal_rect(&self) -> Rect {
+        match self.axis {
+            Axis::Horizontal => Rect::new(
+                4 * self.lo - 1,
+                4 * self.track - 1,
+                4 * self.hi + 1,
+                4 * self.track + 1,
+            ),
+            Axis::Vertical => Rect::new(
+                4 * self.track - 1,
+                4 * self.lo - 1,
+                4 * self.track + 1,
+                4 * self.hi + 1,
+            ),
+        }
+    }
+
+    /// SIM mandrel: adjacent grey-panel band, inset 2 from both ends.
+    fn sim_mandrel_rect(&self) -> Rect {
+        match self.axis {
+            Axis::Horizontal => {
+                let (y0, y1) = match mandrel_side_horizontal(self.track) {
+                    Dir::North => (4 * self.track + 1, 4 * self.track + 3),
+                    _ => (4 * self.track - 3, 4 * self.track - 1),
+                };
+                Rect::new(4 * self.lo + 1, y0, 4 * self.hi - 1, y1)
+            }
+            Axis::Vertical => {
+                let (x0, x1) = match mandrel_side_vertical(self.track) {
+                    Dir::East => (4 * self.track + 1, 4 * self.track + 3),
+                    _ => (4 * self.track - 3, 4 * self.track - 1),
+                };
+                Rect::new(x0, 4 * self.lo + 1, x1, 4 * self.hi - 1)
+            }
+        }
+    }
+}
+
+/// Extracts maximal straight runs from a set of unit edges.
+fn extract_runs(edges: &[WireEdge]) -> Vec<Run> {
+    let mut by_track: BTreeMap<(Axis, i32), Vec<i32>> = BTreeMap::new();
+    for e in edges {
+        match e.axis {
+            Axis::Horizontal => by_track
+                .entry((Axis::Horizontal, e.y))
+                .or_default()
+                .push(e.x),
+            Axis::Vertical => by_track.entry((Axis::Vertical, e.x)).or_default().push(e.y),
+        }
+    }
+    let mut runs = Vec::new();
+    for ((axis, track), mut starts) in by_track {
+        starts.sort_unstable();
+        starts.dedup();
+        let mut lo = starts[0];
+        let mut prev = starts[0];
+        for &s in &starts[1..] {
+            if s != prev + 1 {
+                runs.push(Run {
+                    axis,
+                    track,
+                    lo,
+                    hi: prev + 1,
+                });
+                lo = s;
+            }
+            prev = s;
+        }
+        runs.push(Run {
+            axis,
+            track,
+            lo,
+            hi: prev + 1,
+        });
+    }
+    runs
+}
+
+/// Subtracts a list of rectangles from `base`, returning the remaining
+/// area as disjoint rectangles (guillotine decomposition).
+fn subtract_all(base: Rect, cuts: &[Rect]) -> Vec<Rect> {
+    let mut pieces = vec![base];
+    for c in cuts {
+        let mut next = Vec::new();
+        for p in pieces {
+            if !positive_overlap(&p, c) {
+                next.push(p);
+                continue;
+            }
+            // Split p around c (guillotine along y, then x).
+            if c.y0 > p.y0 {
+                next.push(Rect::new(p.x0, p.y0, p.x1, c.y0));
+            }
+            if c.y1 < p.y1 {
+                next.push(Rect::new(p.x0, c.y1, p.x1, p.y1));
+            }
+            let mid_y0 = c.y0.max(p.y0);
+            let mid_y1 = c.y1.min(p.y1);
+            if c.x0 > p.x0 {
+                next.push(Rect::new(p.x0, mid_y0, c.x0, mid_y1));
+            }
+            if c.x1 < p.x1 {
+                next.push(Rect::new(c.x1, mid_y0, p.x1, mid_y1));
+            }
+        }
+        pieces = next;
+    }
+    pieces.retain(|r| r.width() > 0 && r.height() > 0);
+    pieces
+}
+
+/// `true` when the rectangles overlap with positive area.
+pub(crate) fn positive_overlap(a: &Rect, b: &Rect) -> bool {
+    a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+}
+
+/// The four spacer bands around a mandrel rectangle (spacer width 2).
+fn spacer_bands(m: &Rect) -> [Rect; 4] {
+    [
+        Rect::new(m.x0 - 2, m.y0 - 2, m.x1 + 2, m.y0), // south
+        Rect::new(m.x0 - 2, m.y1, m.x1 + 2, m.y1 + 2), // north
+        Rect::new(m.x0 - 2, m.y0, m.x0, m.y1),         // west
+        Rect::new(m.x1, m.y0, m.x1 + 2, m.y1),         // east
+    ]
+}
+
+/// Decomposes the wire edges of one metal layer into SADP masks.
+///
+/// All edges must lie on the same metal layer.
+///
+/// # Errors
+///
+/// Returns [`DecomposeError::ForbiddenTurn`] if the layout contains an
+/// undecomposable turn, or [`DecomposeError::MixedLayers`] if edges
+/// from several layers are mixed.
+///
+/// ```
+/// use sadp_grid::{Axis, SadpKind, WireEdge};
+/// use sadp_decomp::decompose_layer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A straight horizontal wire of length 3 on track 2.
+/// let edges = vec![
+///     WireEdge::new(1, 0, 2, Axis::Horizontal),
+///     WireEdge::new(1, 1, 2, Axis::Horizontal),
+///     WireEdge::new(1, 2, 2, Axis::Horizontal),
+/// ];
+/// let masks = decompose_layer(SadpKind::Sim, &edges)?;
+/// assert_eq!(masks.metal.len(), 1);
+/// assert_eq!(masks.mandrel.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decompose_layer(kind: SadpKind, edges: &[WireEdge]) -> Result<MaskSet, DecomposeError> {
+    if edges.is_empty() {
+        return Ok(MaskSet::default());
+    }
+    let layer = edges[0].layer;
+    if edges.iter().any(|e| e.layer != layer) {
+        return Err(DecomposeError::MixedLayers);
+    }
+
+    // Refuse forbidden turns up front (per Fig. 4(d): no masks exist).
+    let net = RoutedNet::new(edges.to_vec(), Vec::new());
+    for (p, turn) in net.turns() {
+        if classify_turn(kind, p.x, p.y, turn) == TurnClass::Forbidden {
+            return Err(DecomposeError::ForbiddenTurn {
+                x: p.x,
+                y: p.y,
+                turn,
+            });
+        }
+    }
+
+    let runs = extract_runs(edges);
+    let metal: Vec<Rect> = runs.iter().map(Run::metal_rect).collect();
+    let mut out = MaskSet {
+        metal: metal.clone(),
+        ..MaskSet::default()
+    };
+
+    match kind {
+        SadpKind::Sim | SadpKind::SimTrim => {
+            out.mandrel = runs.iter().map(Run::sim_mandrel_rect).collect();
+            for m in &out.mandrel {
+                for band in spacer_bands(m) {
+                    out.spacer.push(band);
+                    if kind == SadpKind::Sim {
+                        // Cut removes spacer that is not target metal.
+                        out.aux.extend(subtract_all(band, &metal));
+                    }
+                }
+            }
+            if kind == SadpKind::SimTrim {
+                // Trim keeps exactly the target metal.
+                out.aux = metal;
+            }
+        }
+        SadpKind::Sid => {
+            for (run, rect) in runs.iter().zip(&metal) {
+                if sid_track_is_black(run.track) {
+                    // Mandrel coincides with the wire on black tracks.
+                    out.mandrel.push(*rect);
+                    out.spacer.extend(spacer_bands(rect));
+                }
+            }
+            // Trim keeps all target metal.
+            out.aux = metal;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h_edges(layer: u8, y: i32, x0: i32, len: i32) -> Vec<WireEdge> {
+        (x0..x0 + len)
+            .map(|x| WireEdge::new(layer, x, y, Axis::Horizontal))
+            .collect()
+    }
+
+    fn v_edges(layer: u8, x: i32, y0: i32, len: i32) -> Vec<WireEdge> {
+        (y0..y0 + len)
+            .map(|y| WireEdge::new(layer, x, y, Axis::Vertical))
+            .collect()
+    }
+
+    #[test]
+    fn empty_layer_decomposes_trivially() {
+        let ms = decompose_layer(SadpKind::Sim, &[]).unwrap();
+        assert!(ms.metal.is_empty() && ms.mandrel.is_empty());
+    }
+
+    #[test]
+    fn mixed_layers_rejected() {
+        let mut e = h_edges(1, 0, 0, 2);
+        e.push(WireEdge::new(2, 0, 0, Axis::Vertical));
+        assert_eq!(
+            decompose_layer(SadpKind::Sim, &e),
+            Err(DecomposeError::MixedLayers)
+        );
+    }
+
+    #[test]
+    fn straight_wire_masks_sim() {
+        let ms = decompose_layer(SadpKind::Sim, &h_edges(1, 2, 0, 3)).unwrap();
+        assert_eq!(ms.metal, vec![Rect::new(-1, 7, 13, 9)]);
+        // Track 2 is even -> mandrel north, inset 2 each side.
+        assert_eq!(ms.mandrel, vec![Rect::new(1, 9, 11, 11)]);
+        assert_eq!(ms.spacer.len(), 4);
+        // The south spacer band is exactly the wire, so the cut mask
+        // never overlaps metal.
+        for c in &ms.aux {
+            for m in &ms.metal {
+                assert!(!positive_overlap(c, m), "cut {c} overlaps metal {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_tracks_share_a_panel_sim() {
+        // Tracks 2 (mandrel north) and 3 (mandrel south) share the
+        // panel between them: their mandrels coincide.
+        let a = decompose_layer(SadpKind::Sim, &h_edges(1, 2, 0, 3)).unwrap();
+        let b = decompose_layer(SadpKind::Sim, &h_edges(1, 3, 0, 3)).unwrap();
+        assert_eq!(a.mandrel, b.mandrel);
+    }
+
+    #[test]
+    fn preferred_turn_mandrels_merge_sim() {
+        // East arm on track y=2 from x=2..5, north arm on x=2 from
+        // y=2..5; corner (2,2) even/even -> EastNorth preferred.
+        let mut e = h_edges(1, 2, 2, 3);
+        e.extend(v_edges(1, 2, 2, 3));
+        let ms = decompose_layer(SadpKind::Sim, &e).unwrap();
+        assert_eq!(ms.mandrel.len(), 2);
+        assert!(
+            positive_overlap(&ms.mandrel[0], &ms.mandrel[1]),
+            "preferred-turn mandrels must merge into one L: {} vs {}",
+            ms.mandrel[0],
+            ms.mandrel[1]
+        );
+    }
+
+    #[test]
+    fn non_preferred_turn_mandrels_keep_spacing_sim() {
+        // Corner (3,3) odd/odd -> WestSouth preferred, EastNorth
+        // non-preferred. Build arms east and north from (3,3).
+        let mut e = h_edges(1, 3, 3, 3);
+        e.extend(v_edges(1, 3, 3, 3));
+        let ms = decompose_layer(SadpKind::Sim, &e).unwrap();
+        assert_eq!(ms.mandrel.len(), 2);
+        assert!(!positive_overlap(&ms.mandrel[0], &ms.mandrel[1]));
+        assert!(
+            ms.mandrel[0].spacing(&ms.mandrel[1]) >= 2,
+            "non-preferred mandrels must keep min spacing: {} vs {}",
+            ms.mandrel[0],
+            ms.mandrel[1]
+        );
+    }
+
+    #[test]
+    fn forbidden_turn_is_refused() {
+        // Corner (2,2) with arms east + south: EastSouth at even/even
+        // is forbidden in SIM.
+        let mut e = h_edges(1, 2, 2, 3);
+        e.extend(v_edges(1, 2, 0, 2)); // south arm: y 0..2
+        let err = decompose_layer(SadpKind::Sim, &e).unwrap_err();
+        assert!(matches!(err, DecomposeError::ForbiddenTurn { x: 2, y: 2, .. }));
+    }
+
+    #[test]
+    fn sid_black_tracks_are_mandrels() {
+        let ms = decompose_layer(SadpKind::Sid, &h_edges(1, 2, 0, 3)).unwrap();
+        assert_eq!(ms.mandrel, ms.metal);
+        assert_eq!(ms.aux, ms.metal);
+        let ms = decompose_layer(SadpKind::Sid, &h_edges(1, 3, 0, 3)).unwrap();
+        assert!(ms.mandrel.is_empty(), "grey track has no mandrel");
+        assert_eq!(ms.aux, ms.metal);
+    }
+
+    #[test]
+    fn sid_forbidden_turn_is_refused() {
+        // Mixed-parity corner (1, 2): forbidden in SID.
+        let mut e = h_edges(1, 2, 1, 2);
+        e.extend(v_edges(1, 1, 2, 2));
+        let err = decompose_layer(SadpKind::Sid, &e).unwrap_err();
+        assert!(matches!(err, DecomposeError::ForbiddenTurn { x: 1, y: 2, .. }));
+    }
+
+    /// SIM-with-trim: same mandrels as SIM, but the second mask keeps
+    /// the target metal instead of cutting excess spacer.
+    #[test]
+    fn sim_trim_uses_keep_mask() {
+        let edges = h_edges(1, 2, 0, 3);
+        let cut = decompose_layer(SadpKind::Sim, &edges).unwrap();
+        let trim = decompose_layer(SadpKind::SimTrim, &edges).unwrap();
+        assert_eq!(cut.mandrel, trim.mandrel);
+        assert_eq!(trim.aux, trim.metal);
+        assert_ne!(cut.aux, trim.aux);
+    }
+
+    #[test]
+    fn runs_merge_collinear_edges() {
+        let mut e = h_edges(1, 0, 0, 2);
+        e.extend(h_edges(1, 0, 3, 2)); // gap at x=2..3
+        let runs = extract_runs(&e);
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].lo, runs[0].hi), (0, 2));
+        assert_eq!((runs[1].lo, runs[1].hi), (3, 5));
+    }
+
+    #[test]
+    fn subtraction_removes_overlap() {
+        let base = Rect::new(0, 0, 10, 2);
+        let pieces = subtract_all(base, &[Rect::new(4, 0, 6, 2)]);
+        assert_eq!(pieces.len(), 2);
+        let total: i32 = pieces.iter().map(|r| r.width() * r.height()).sum();
+        assert_eq!(total, 10 * 2 - 2 * 2);
+        for p in &pieces {
+            assert!(!positive_overlap(p, &Rect::new(4, 0, 6, 2)));
+        }
+    }
+
+    #[test]
+    fn subtraction_no_overlap_keeps_base() {
+        let base = Rect::new(0, 0, 4, 4);
+        let pieces = subtract_all(base, &[Rect::new(10, 10, 12, 12)]);
+        assert_eq!(pieces, vec![base]);
+    }
+}

@@ -1,0 +1,115 @@
+//! The same-color via pitch conflict model.
+//!
+//! The paper defines the *same-color via pitch* as the minimum
+//! center-to-center distance at which two vias of one via layer may
+//! share a TPL mask, and states it is "slightly larger than two times
+//! the routing track pitch". Combined with the forbidden-via-pattern
+//! rules of §II-D, the induced conflict predicate is exactly
+//!
+//! > vias at track offset `(dx, dy)` conflict iff `dx² + dy² ≤ 5`,
+//!
+//! i.e. every pair inside a 3×3 window except the full diagonals
+//! (distance `2√2 ≈ 2.83` > pitch) — see `DESIGN.md` §2.4 for the
+//! derivation, and the exhaustive test in [`crate::fvp`] proving the
+//! equivalence with the paper's FVP classification.
+
+/// Squared same-color via pitch in track units: conflicts are pairs
+/// with squared distance **at most** this value.
+pub const SAME_COLOR_PITCH_SQ: i32 = 5;
+
+/// All nonzero offsets `(dx, dy)` at which two vias conflict.
+///
+/// 20 offsets: the 24 cells of the surrounding 5×5-restricted
+/// neighborhood minus the four `(±2, ±2)` diagonals.
+pub const CONFLICT_OFFSETS: [(i32, i32); 20] = [
+    (-2, -1),
+    (-2, 0),
+    (-2, 1),
+    (-1, -2),
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (-1, 2),
+    (0, -2),
+    (0, -1),
+    (0, 1),
+    (0, 2),
+    (1, -2),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (1, 2),
+    (2, -1),
+    (2, 0),
+    (2, 1),
+];
+
+/// `true` if two vias of one via layer separated by `(dx, dy)` tracks
+/// are within the same-color via pitch (i.e. must get different TPL
+/// colors).
+///
+/// A via never conflicts with itself: `vias_conflict(0, 0)` is
+/// `false`.
+///
+/// ```
+/// use tpl_decomp::vias_conflict;
+/// assert!(vias_conflict(0, 1));
+/// assert!(vias_conflict(-2, 1));
+/// assert!(!vias_conflict(0, 0));
+/// assert!(!vias_conflict(-2, -2));
+/// ```
+#[inline]
+pub fn vias_conflict(dx: i32, dy: i32) -> bool {
+    let d2 = dx * dx + dy * dy;
+    d2 > 0 && d2 <= SAME_COLOR_PITCH_SQ
+}
+
+/// Iterates over the conflict offsets (a convenience over
+/// [`CONFLICT_OFFSETS`]).
+pub fn conflict_offsets() -> impl Iterator<Item = (i32, i32)> {
+    CONFLICT_OFFSETS.iter().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_match_predicate() {
+        let mut expected = Vec::new();
+        for dx in -3..=3 {
+            for dy in -3..=3 {
+                if vias_conflict(dx, dy) {
+                    expected.push((dx, dy));
+                }
+            }
+        }
+        let mut actual: Vec<(i32, i32)> = CONFLICT_OFFSETS.to_vec();
+        actual.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn predicate_is_symmetric() {
+        for dx in -3..=3 {
+            for dy in -3..=3 {
+                assert_eq!(vias_conflict(dx, dy), vias_conflict(-dx, -dy));
+                assert_eq!(vias_conflict(dx, dy), vias_conflict(dy, dx));
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_cases() {
+        // Distance 2 (= twice the track pitch) conflicts: pitch is
+        // "slightly larger than" 2.
+        assert!(vias_conflict(2, 0));
+        // (2,1): sqrt(5) ≈ 2.24 still conflicts.
+        assert!(vias_conflict(2, 1));
+        // Full diagonal 2√2 ≈ 2.83 does not.
+        assert!(!vias_conflict(2, 2));
+        // Distance 3 does not.
+        assert!(!vias_conflict(3, 0));
+    }
+}

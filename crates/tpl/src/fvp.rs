@@ -1,0 +1,372 @@
+//! Forbidden via patterns (FVPs) and the incremental per-layer index.
+//!
+//! An FVP is a via pattern inside a 3×3 grid window that is not
+//! 3-colorable under the same-color-pitch conflict model. The paper's
+//! O(1) classification (§II-D):
+//!
+//! 1. six or more vias → FVP;
+//! 2. five vias → FVP unless four of them occupy the window corners;
+//! 3. four vias → FVP unless two occupy diagonally opposite corners;
+//! 4. three or fewer vias → never an FVP.
+//!
+//! [`window_is_fvp`] implements these rules;
+//! [`window_is_3colorable_bruteforce`] is the exhaustive reference the
+//! test suite proves them equivalent to (all 512 window patterns).
+
+use std::collections::HashSet;
+
+use crate::conflict::vias_conflict;
+
+/// Side length of the classification window (3×3 grid points).
+pub const WINDOW: i32 = 3;
+
+/// Classifies a via pattern inside a 3×3 window.
+///
+/// `vias` holds window-relative positions with coordinates in `0..3`;
+/// duplicates are ignored. Returns `true` when the pattern is a
+/// forbidden via pattern (not 3-colorable).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a position lies outside the window.
+///
+/// ```
+/// use tpl_decomp::window_is_fvp;
+/// // Four corners plus center: 3-colorable (paper Fig. 7(a)-like).
+/// assert!(!window_is_fvp(&[(0, 0), (2, 0), (0, 2), (2, 2), (1, 1)]));
+/// // Four vias, no diagonal corner pair: FVP (Fig. 7(d)).
+/// assert!(window_is_fvp(&[(0, 0), (1, 0), (0, 1), (1, 1)]));
+/// ```
+pub fn window_is_fvp(vias: &[(i32, i32)]) -> bool {
+    let mut set = [[false; 3]; 3];
+    let mut n = 0usize;
+    for &(x, y) in vias {
+        debug_assert!((0..WINDOW).contains(&x) && (0..WINDOW).contains(&y));
+        if !set[x as usize][y as usize] {
+            set[x as usize][y as usize] = true;
+            n += 1;
+        }
+    }
+    match n {
+        0..=3 => false,
+        4 => {
+            // Colorable iff some diagonally opposite corner pair is
+            // occupied.
+            let diag_a = set[0][0] && set[2][2];
+            let diag_b = set[2][0] && set[0][2];
+            !(diag_a || diag_b)
+        }
+        5 => {
+            // Colorable iff all four corners are occupied.
+            !(set[0][0] && set[2][0] && set[0][2] && set[2][2])
+        }
+        _ => true,
+    }
+}
+
+/// Exhaustive 3-coloring of the window conflict graph — the reference
+/// implementation the rule-based classifier is verified against.
+pub fn window_is_3colorable_bruteforce(vias: &[(i32, i32)]) -> bool {
+    let mut pts: Vec<(i32, i32)> = vias.to_vec();
+    pts.sort_unstable();
+    pts.dedup();
+    let n = pts.len();
+    if n <= 3 {
+        return true;
+    }
+    // Backtracking over 3 colors.
+    fn assign(pts: &[(i32, i32)], colors: &mut Vec<u8>, i: usize) -> bool {
+        if i == pts.len() {
+            return true;
+        }
+        'colors: for c in 0..3u8 {
+            for j in 0..i {
+                let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                if colors[j] == c && vias_conflict(dx, dy) {
+                    continue 'colors;
+                }
+            }
+            colors[i] = c;
+            if assign(pts, colors, i + 1) {
+                return true;
+            }
+        }
+        false
+    }
+    let mut colors = vec![0u8; n];
+    assign(&pts, &mut colors, 0)
+}
+
+/// An incremental FVP index over one via layer.
+///
+/// Tracks the set of vias on the layer and the set of 3×3 windows
+/// whose current pattern is an FVP. Adding or removing a via updates
+/// at most nine windows (O(1)); the full FVP list is available at any
+/// time, which is exactly what the paper's via-layer TPL violation
+/// removal R&R (Algorithm 2) needs.
+///
+/// ```
+/// use tpl_decomp::FvpIndex;
+///
+/// let mut idx = FvpIndex::new(10, 10);
+/// for &(x, y) in &[(1, 1), (3, 1), (2, 2)] {
+///     idx.add_via(x, y);
+/// }
+/// assert!(idx.fvp_windows().is_empty());
+/// idx.add_via(2, 1); // four vias, no diagonal corner pair -> FVP
+/// assert!(!idx.fvp_windows().is_empty());
+/// idx.remove_via(2, 1);
+/// assert!(idx.fvp_windows().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FvpIndex {
+    width: i32,
+    height: i32,
+    vias: HashSet<(i32, i32)>,
+    fvp: HashSet<(i32, i32)>,
+}
+
+impl FvpIndex {
+    /// Creates an empty index for a `width × height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than the window size.
+    pub fn new(width: i32, height: i32) -> FvpIndex {
+        assert!(
+            width >= WINDOW && height >= WINDOW,
+            "grid must be at least {WINDOW}x{WINDOW}"
+        );
+        FvpIndex {
+            width,
+            height,
+            vias: HashSet::new(),
+            fvp: HashSet::new(),
+        }
+    }
+
+    /// Number of vias currently in the index.
+    pub fn via_count(&self) -> usize {
+        self.vias.len()
+    }
+
+    /// `true` if a via is present at `(x, y)`.
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        self.vias.contains(&(x, y))
+    }
+
+    /// Iterates over all vias.
+    pub fn vias(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
+        self.vias.iter().copied()
+    }
+
+    /// The origins of all windows whose pattern is currently an FVP.
+    pub fn fvp_windows(&self) -> &HashSet<(i32, i32)> {
+        &self.fvp
+    }
+
+    /// The window origins `(ox, oy)` whose 3×3 area contains `(x, y)`.
+    fn windows_touching(&self, x: i32, y: i32) -> impl Iterator<Item = (i32, i32)> {
+        let (w, h) = (self.width, self.height);
+        let x0 = (x - WINDOW + 1).max(0);
+        let x1 = x.min(w - WINDOW);
+        let y0 = (y - WINDOW + 1).max(0);
+        let y1 = y.min(h - WINDOW);
+        (x0..=x1).flat_map(move |ox| (y0..=y1).map(move |oy| (ox, oy)))
+    }
+
+    /// The window-relative via pattern of window `(ox, oy)`.
+    fn window_pattern(&self, ox: i32, oy: i32) -> Vec<(i32, i32)> {
+        let mut out = Vec::with_capacity(9);
+        for dx in 0..WINDOW {
+            for dy in 0..WINDOW {
+                if self.vias.contains(&(ox + dx, oy + dy)) {
+                    out.push((dx, dy));
+                }
+            }
+        }
+        out
+    }
+
+    fn refresh_window(&mut self, ox: i32, oy: i32) {
+        let pat = self.window_pattern(ox, oy);
+        if window_is_fvp(&pat) {
+            self.fvp.insert((ox, oy));
+        } else {
+            self.fvp.remove(&(ox, oy));
+        }
+    }
+
+    /// Adds a via, updating the affected windows. Returns `false` if a
+    /// via was already present there.
+    pub fn add_via(&mut self, x: i32, y: i32) -> bool {
+        if !self.vias.insert((x, y)) {
+            return false;
+        }
+        let windows: Vec<_> = self.windows_touching(x, y).collect();
+        for (ox, oy) in windows {
+            self.refresh_window(ox, oy);
+        }
+        true
+    }
+
+    /// Removes a via, updating the affected windows. Returns `false`
+    /// if no via was present there.
+    pub fn remove_via(&mut self, x: i32, y: i32) -> bool {
+        if !self.vias.remove(&(x, y)) {
+            return false;
+        }
+        let windows: Vec<_> = self.windows_touching(x, y).collect();
+        for (ox, oy) in windows {
+            self.refresh_window(ox, oy);
+        }
+        true
+    }
+
+    /// Would inserting a via at `(x, y)` create at least one FVP?
+    ///
+    /// This is the check behind the *blocked via locations* of
+    /// Algorithm 2 (Fig. 10) and behind the FVP guard of the DVI
+    /// heuristic. The position itself may be empty or occupied; an
+    /// occupied position trivially returns the current state.
+    pub fn would_create_fvp(&self, x: i32, y: i32) -> bool {
+        if self.vias.contains(&(x, y)) {
+            return self
+                .windows_touching(x, y)
+                .any(|w| self.fvp.contains(&w));
+        }
+        for (ox, oy) in self.windows_touching(x, y) {
+            let mut pat = self.window_pattern(ox, oy);
+            pat.push((x - ox, y - oy));
+            if window_is_fvp(&pat) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rule-based classifier agrees with exhaustive 3-coloring on
+    /// all 512 possible window patterns — the rules of §II-D are
+    /// exactly 3-colorability under the conflict model.
+    #[test]
+    fn rules_equal_bruteforce_on_all_patterns() {
+        for mask in 0u32..512 {
+            let mut vias = Vec::new();
+            for bit in 0..9 {
+                if mask & (1 << bit) != 0 {
+                    vias.push((bit % 3, bit / 3));
+                }
+            }
+            assert_eq!(
+                window_is_fvp(&vias),
+                !window_is_3colorable_bruteforce(&vias),
+                "pattern {mask:#b} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_figure7_examples() {
+        // Fig. 7(a): 5 vias with 4 on corners — not an FVP.
+        assert!(!window_is_fvp(&[(0, 0), (2, 0), (0, 2), (2, 2), (1, 1)]));
+        // Fig. 7(b): 5 vias not on four corners — FVP.
+        assert!(window_is_fvp(&[(0, 0), (2, 0), (0, 2), (1, 1), (1, 2)]));
+        // Fig. 7(c): 4 vias with a diagonal corner pair — not an FVP.
+        assert!(!window_is_fvp(&[(0, 0), (2, 2), (1, 0), (0, 1)]));
+        // Fig. 7(d): 4 vias without a diagonal corner pair — FVP.
+        assert!(window_is_fvp(&[(0, 0), (2, 0), (1, 1), (1, 2)]));
+    }
+
+    /// The paper's motivation against the via-spacing rule of refs
+    /// [18]/[19]: the diamond pattern keeps every pair at Manhattan
+    /// distance 2 (no forbidden adjacent positions) yet is an FVP —
+    /// spacing rules alone do not ensure TPL decomposability.
+    #[test]
+    fn spacing_rule_compliant_diamond_is_fvp() {
+        let diamond = [(0, 1), (1, 0), (1, 2), (2, 1)];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let (a, b): ((i32, i32), (i32, i32)) = (diamond[i], diamond[j]);
+                assert!((a.0 - b.0).abs() + (a.1 - b.1).abs() >= 2);
+            }
+        }
+        assert!(window_is_fvp(&diamond));
+        assert!(!window_is_3colorable_bruteforce(&diamond));
+    }
+
+    #[test]
+    fn six_vias_always_fvp() {
+        assert!(window_is_fvp(&[
+            (0, 0),
+            (2, 0),
+            (0, 2),
+            (2, 2),
+            (1, 1),
+            (1, 0)
+        ]));
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        assert!(!window_is_fvp(&[(0, 0), (0, 0), (1, 1), (1, 1)]));
+    }
+
+    #[test]
+    fn index_tracks_additions_and_removals() {
+        let mut idx = FvpIndex::new(8, 8);
+        assert_eq!(idx.via_count(), 0);
+        // Build Fig. 7(d) at origin (2,2): FVP.
+        for &(x, y) in &[(2, 2), (4, 2), (3, 3), (3, 4)] {
+            assert!(idx.add_via(x, y));
+        }
+        assert!(idx.fvp_windows().contains(&(2, 2)));
+        assert!(!idx.add_via(2, 2), "double insert rejected");
+        assert!(idx.remove_via(3, 3));
+        assert!(idx.fvp_windows().is_empty());
+        assert!(!idx.remove_via(3, 3));
+        assert_eq!(idx.via_count(), 3);
+    }
+
+    #[test]
+    fn would_create_fvp_predicts() {
+        let mut idx = FvpIndex::new(8, 8);
+        for &(x, y) in &[(2, 2), (4, 2), (3, 3)] {
+            idx.add_via(x, y);
+        }
+        // Adding (3,4) completes Fig. 7(d).
+        assert!(idx.would_create_fvp(3, 4));
+        // Adding the far diagonal corner (4,4) gives 4 vias *with* a
+        // diagonal pair (2,2)-(4,4): fine.
+        assert!(!idx.would_create_fvp(4, 4));
+        // The prediction matches reality.
+        idx.add_via(3, 4);
+        assert!(!idx.fvp_windows().is_empty());
+    }
+
+    #[test]
+    fn windows_clamp_at_borders() {
+        let mut idx = FvpIndex::new(3, 3);
+        // Only one window exists on a 3x3 grid.
+        for &(x, y) in &[(0, 0), (1, 0), (0, 1), (1, 1)] {
+            idx.add_via(x, y);
+        }
+        assert_eq!(idx.fvp_windows().len(), 1);
+        assert!(idx.fvp_windows().contains(&(0, 0)));
+    }
+
+    #[test]
+    fn dense_line_of_vias_is_not_fvp() {
+        // A full row of 3 vias in every window: 3 vias per window,
+        // never an FVP (they take the 3 different colors).
+        let mut idx = FvpIndex::new(10, 10);
+        for x in 0..10 {
+            idx.add_via(x, 5);
+        }
+        assert!(idx.fvp_windows().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # tpl-decomp
+//!
+//! Triple-patterning-lithography (TPL) decomposition machinery for via
+//! layers, following §II-D and §III-C/D of the paper:
+//!
+//! * the **same-color via pitch** conflict model — two vias on the same
+//!   via layer conflict (cannot share a mask) iff `dx² + dy² ≤ 5` in
+//!   track units, the unique predicate consistent with the paper's
+//!   forbidden-via-pattern rules (see `DESIGN.md` §2.4);
+//! * the O(1) **forbidden via pattern** (FVP) classifier over 3×3
+//!   windows, plus an incremental [`FvpIndex`] that a router can keep
+//!   up to date in O(1) per via insertion/removal;
+//! * the **decomposition graph** over a via layer and its 3-coloring:
+//!   the greedy Welsh–Powell pass the paper uses as its fast check and
+//!   an exact backtracking colorer used as a reference.
+//!
+//! ```
+//! use tpl_decomp::{vias_conflict, window_is_fvp};
+//!
+//! assert!(vias_conflict(1, 0));
+//! assert!(vias_conflict(2, 1));
+//! assert!(!vias_conflict(2, 2)); // full diagonal of the 3x3 window
+//! assert!(!vias_conflict(3, 0)); // beyond the same-color pitch
+//!
+//! // Six or more vias in a 3x3 window can never be 3-colored.
+//! let vias = [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)];
+//! assert!(window_is_fvp(&vias));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod conflict;
+pub mod fvp;
+pub mod graph;
+
+pub use coloring::{exact_color, welsh_powell, ColoringOutcome};
+pub use conflict::{conflict_offsets, vias_conflict, CONFLICT_OFFSETS};
+pub use fvp::{window_is_3colorable_bruteforce, window_is_fvp, FvpIndex, WINDOW};
+pub use graph::DecompGraph;

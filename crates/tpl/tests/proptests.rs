@@ -1,0 +1,89 @@
+//! Property-based tests of the TPL machinery.
+
+use proptest::prelude::*;
+use tpl_decomp::{exact_color, vias_conflict, welsh_powell, window_is_fvp, DecompGraph, FvpIndex};
+
+proptest! {
+    /// The incremental index predicts exactly what add_via produces.
+    #[test]
+    fn would_create_fvp_is_consistent(
+        pts in proptest::collection::vec((0i32..12, 0i32..12), 1..20)
+    ) {
+        let mut idx = FvpIndex::new(12, 12);
+        let mut last = None;
+        for (x, y) in pts {
+            if idx.contains(x, y) {
+                continue;
+            }
+            let predicted = idx.would_create_fvp(x, y);
+            idx.add_via(x, y);
+            // Prediction == after insertion some window containing the
+            // via is an FVP.
+            let actual = idx
+                .fvp_windows()
+                .iter()
+                .any(|&(ox, oy)| (ox..ox + 3).contains(&x) && (oy..oy + 3).contains(&y));
+            prop_assert_eq!(predicted, actual, "at ({}, {})", x, y);
+            last = Some((x, y));
+        }
+        // Removing and re-adding the last via restores the windows.
+        if let Some((x, y)) = last {
+            let with = idx.fvp_windows().clone();
+            idx.remove_via(x, y);
+            idx.add_via(x, y);
+            prop_assert_eq!(&with, idx.fvp_windows());
+        }
+    }
+
+    /// Exact coloring succeeds whenever greedy does, and both are
+    /// proper.
+    #[test]
+    fn exact_dominates_greedy(
+        pts in proptest::collection::vec((0i32..15, 0i32..15), 0..25)
+    ) {
+        let g = DecompGraph::from_positions(pts);
+        let greedy = welsh_powell(&g, 3);
+        prop_assert!(g.coloring_conflicts(&greedy.colors).is_empty());
+        if greedy.is_complete() {
+            let exact = exact_color(&g, 3);
+            prop_assert!(exact.is_some());
+            let wrapped: Vec<Option<u8>> = exact.unwrap().into_iter().map(Some).collect();
+            prop_assert!(g.coloring_conflicts(&wrapped).is_empty());
+        }
+    }
+
+    /// FVP windows of an index always correspond to actual uncolorable
+    /// window patterns.
+    #[test]
+    fn fvp_windows_are_real(
+        pts in proptest::collection::vec((0i32..10, 0i32..10), 1..30)
+    ) {
+        let mut idx = FvpIndex::new(10, 10);
+        for (x, y) in &pts {
+            idx.add_via(*x, *y);
+        }
+        for &(ox, oy) in idx.fvp_windows() {
+            let vias: Vec<(i32, i32)> = idx
+                .vias()
+                .filter(|(x, y)| (ox..ox + 3).contains(x) && (oy..oy + 3).contains(y))
+                .map(|(x, y)| (x - ox, y - oy))
+                .collect();
+            prop_assert!(window_is_fvp(&vias));
+        }
+    }
+
+    /// Graph edges are exactly the symmetric conflict relation.
+    #[test]
+    fn graph_edges_are_symmetric(
+        pts in proptest::collection::vec((0i32..12, 0i32..12), 0..25)
+    ) {
+        let g = DecompGraph::from_positions(pts);
+        for v in 0..g.len() {
+            for &w in g.neighbors(v) {
+                prop_assert!(g.neighbors(w as usize).contains(&(v as u32)));
+                let (a, b) = (g.position(v), g.position(w as usize));
+                prop_assert!(vias_conflict(b.0 - a.0, b.1 - a.1));
+            }
+        }
+    }
+}

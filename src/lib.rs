@@ -1,0 +1,26 @@
+//! # sadp-dvi
+//!
+//! Umbrella crate for the reproduction of *"Self-Aligned Double
+//! Patterning-Aware Detailed Routing with Double Via Insertion and Via
+//! Manufacturability Consideration"* (Ding, Chu, Mak — DAC 2016).
+//!
+//! Re-exports every workspace crate under one roof. See the individual
+//! crates for the detailed APIs:
+//!
+//! * [`grid`] — routing grid, netlists, routed-solution model.
+//! * [`sadp`] — SADP color pre-assignment, turn legality, mask synthesis.
+//! * [`tpl`] — via-layer TPL decomposition, FVP classifier, coloring.
+//! * [`ilp`] — 0-1 ILP branch-and-bound solver (Gurobi substitute).
+//! * [`dvi`] — double-via-insertion candidates, ILP model, heuristic.
+//! * [`router`] — the SADP-aware detailed router itself.
+//! * `bench` ([`benchgen`]) — synthetic benchmark generator.
+
+#![warn(missing_docs)]
+
+pub use benchgen as bench;
+pub use bilp as ilp;
+pub use dvi;
+pub use sadp_decomp as sadp;
+pub use sadp_grid as grid;
+pub use sadp_router as router;
+pub use tpl_decomp as tpl;
