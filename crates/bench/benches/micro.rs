@@ -8,7 +8,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use benchgen::BenchSpec;
 use dvi::{solve_heuristic, solve_ilp_lazy, DviParams, DviProblem, LazyIlpOptions};
 use sadp_grid::SadpKind;
-use sadp_router::{Router, RouterConfig};
+use sadp_router::dijkstra::{route_net, route_net_with};
+use sadp_router::search::route_connection_reference;
+use sadp_router::state::RouterState;
+use sadp_router::{CostParams, Router, RouterConfig, SearchScratch};
 use tpl_decomp::{welsh_powell, window_is_fvp, DecompGraph, FvpIndex};
 
 fn bench_fvp(c: &mut Criterion) {
@@ -99,6 +102,47 @@ fn bench_dvi(c: &mut Criterion) {
     });
 }
 
+fn bench_search(c: &mut Criterion) {
+    // Dense A* kernel vs the reference hash Dijkstra on the same
+    // net-routing workload (pristine state, shared scratch).
+    let spec = BenchSpec::paper_suite()[0].scaled(0.03);
+    let netlist = spec.generate(2);
+    let state = RouterState::new(
+        spec.grid(),
+        &netlist,
+        SadpKind::Sim,
+        CostParams::default(),
+        true,
+        true,
+    );
+    let mut scratch = SearchScratch::new();
+    c.bench_function("search/dense_astar_route_nets", |b| {
+        b.iter(|| {
+            let mut wl = 0u64;
+            for (id, net) in netlist.iter() {
+                if let Some(r) = route_net(&state, id, net, &mut scratch) {
+                    wl += r.wirelength();
+                }
+            }
+            black_box(wl)
+        })
+    });
+    c.bench_function("search/reference_dijkstra_route_nets", |b| {
+        b.iter(|| {
+            let mut wl = 0u64;
+            for (id, net) in netlist.iter() {
+                let routed = route_net_with(&state, id, net, |st, id, src, tree, tgt, win| {
+                    route_connection_reference(st, id, src, tree, tgt, win)
+                });
+                if let Some(r) = routed {
+                    wl += r.wirelength();
+                }
+            }
+            black_box(wl)
+        })
+    });
+}
+
 fn bench_router(c: &mut Criterion) {
     let spec = BenchSpec::paper_suite()[0].scaled(0.02);
     let netlist = spec.generate(1);
@@ -118,6 +162,6 @@ fn bench_router(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fvp, bench_coloring, bench_bilp, bench_dvi, bench_router
+    targets = bench_fvp, bench_coloring, bench_bilp, bench_dvi, bench_search, bench_router
 );
 criterion_main!(benches);

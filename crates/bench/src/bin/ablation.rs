@@ -14,8 +14,10 @@
 
 use bench_suite::table::{num, text};
 use bench_suite::{RunArgs, TableBuilder};
-use dvi::{solve_heuristic, solve_heuristic_improved, solve_ilp_lazy, DviParams, DviProblem,
-          LazyIlpOptions};
+use dvi::{
+    solve_heuristic, solve_heuristic_improved, solve_ilp_lazy, DviParams, DviProblem,
+    LazyIlpOptions,
+};
 use sadp_grid::SadpKind;
 use sadp_router::{CostParams, Router, RouterConfig};
 
@@ -25,11 +27,46 @@ fn main() {
 
     // Part 1: DP-term ablation on the fully-considered routing.
     let variants: [(&str, DviParams); 5] = [
-        ("full (1,1,1)", DviParams { delta: 1, lambda: 1, mu: 1 }),
-        ("no delta (0,1,1)", DviParams { delta: 0, lambda: 1, mu: 1 }),
-        ("no lambda (1,0,1)", DviParams { delta: 1, lambda: 0, mu: 1 }),
-        ("no mu (1,1,0)", DviParams { delta: 1, lambda: 1, mu: 0 }),
-        ("none (0,0,0)", DviParams { delta: 0, lambda: 0, mu: 0 }),
+        (
+            "full (1,1,1)",
+            DviParams {
+                delta: 1,
+                lambda: 1,
+                mu: 1,
+            },
+        ),
+        (
+            "no delta (0,1,1)",
+            DviParams {
+                delta: 0,
+                lambda: 1,
+                mu: 1,
+            },
+        ),
+        (
+            "no lambda (1,0,1)",
+            DviParams {
+                delta: 1,
+                lambda: 0,
+                mu: 1,
+            },
+        ),
+        (
+            "no mu (1,1,0)",
+            DviParams {
+                delta: 1,
+                lambda: 1,
+                mu: 0,
+            },
+        ),
+        (
+            "none (0,0,0)",
+            DviParams {
+                delta: 0,
+                lambda: 0,
+                mu: 0,
+            },
+        ),
     ];
     let mut headers = vec!["CKT".to_string()];
     let mut decimals = vec![0usize];
@@ -87,7 +124,10 @@ fn main() {
         for &alpha in &alphas {
             let netlist = spec.generate(args.seed);
             let mut config = RouterConfig::full(SadpKind::Sim);
-            config.params = CostParams { alpha, ..CostParams::default() };
+            config.params = CostParams {
+                alpha,
+                ..CostParams::default()
+            };
             let out = Router::new(spec.grid(), netlist, config).run();
             let problem = DviProblem::build(SadpKind::Sim, &out.solution);
             let h = solve_heuristic(&problem, &DviParams::default());

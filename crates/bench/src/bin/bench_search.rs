@@ -1,0 +1,199 @@
+//! Before/after benchmark of the maze-routing search kernel: routes
+//! table1/table2-class workloads once with the reference hash-based
+//! Dijkstra and once with the dense A* kernel, then emits
+//! `BENCH_search.json` with ns/connection for both and the speedup.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin bench_search \
+//!     [-- --scale f --seed n --reps k --circuits a,b --out path]
+//! ```
+//!
+//! Both kernels route the same netlists in the same HPWL order with
+//! routes installed as they land (the initial-routing workload, which
+//! dominates router runtime). Equal-cost tie-breaks may give the two
+//! kernels slightly different installed routes mid-run; the per-kernel
+//! connection counts are reported so the ns/connection figures stay
+//! honest.
+
+use std::time::Instant;
+
+use benchgen::BenchSpec;
+use sadp_grid::{NetId, SadpKind};
+use sadp_router::dijkstra::route_net_with;
+use sadp_router::search::{route_connection, route_connection_reference};
+use sadp_router::state::RouterState;
+use sadp_router::{CostParams, SearchScratch};
+
+struct KernelRun {
+    total_ns: u128,
+    connections: u64,
+    routed: usize,
+    failed: usize,
+}
+
+impl KernelRun {
+    fn ns_per_connection(&self) -> f64 {
+        self.total_ns as f64 / self.connections.max(1) as f64
+    }
+}
+
+/// Routes every net of the instance with one kernel, timing only the
+/// per-net search calls (install/bookkeeping excluded).
+fn run_kernel(spec: &BenchSpec, seed: u64, dense: bool) -> KernelRun {
+    let netlist = spec.generate(seed);
+    let mut state = RouterState::new(
+        spec.grid(),
+        &netlist,
+        SadpKind::Sim,
+        CostParams::default(),
+        true,
+        true,
+    );
+    let mut order: Vec<NetId> = netlist.iter().map(|(id, _)| id).collect();
+    order.sort_by_key(|&id| (netlist[id].hpwl(), id));
+    let mut scratch = SearchScratch::new();
+    let mut run = KernelRun {
+        total_ns: 0,
+        connections: 0,
+        routed: 0,
+        failed: 0,
+    };
+    for id in order {
+        let t0 = Instant::now();
+        let routed = route_net_with(&state, id, &netlist[id], |st, id, src, tree, tgt, win| {
+            run.connections += 1;
+            if dense {
+                route_connection(st, id, src, tree, tgt, win, &mut scratch)
+            } else {
+                route_connection_reference(st, id, src, tree, tgt, win)
+            }
+        });
+        run.total_ns += t0.elapsed().as_nanos();
+        match routed {
+            Some(route) => {
+                state.install_route(id, route);
+                run.routed += 1;
+            }
+            None => run.failed += 1,
+        }
+    }
+    run
+}
+
+fn parse_or_die<T: std::str::FromStr>(val: &str, flag: &str, what: &str) -> T {
+    val.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} takes {what}, got {val:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut scale = 0.1f64;
+    let mut seed = 1u64;
+    let mut reps = 3usize;
+    let mut circuits: Vec<String> = ["ecc", "efc", "ctl", "alu"].map(String::from).to_vec();
+    let mut out = String::from("BENCH_search.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => scale = parse_or_die(need(i), "--scale", "a float"),
+            "--seed" => seed = parse_or_die(need(i), "--seed", "an integer"),
+            "--reps" => reps = parse_or_die(need(i), "--reps", "an integer"),
+            "--circuits" => circuits = need(i).split(',').map(|s| s.trim().to_string()).collect(),
+            "--out" => out = need(i).clone(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: [--scale f] [--seed n] [--reps k] [--circuits a,b,...] [--out path]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    let suite: Vec<BenchSpec> = BenchSpec::paper_suite()
+        .into_iter()
+        .filter(|s| circuits.iter().any(|n| n == s.name))
+        .map(|s| s.scaled(scale))
+        .collect();
+    if suite.is_empty() {
+        eprintln!("no circuits matched {:?} (try --help)", circuits.join(","));
+        std::process::exit(2);
+    }
+
+    let mut rows = Vec::new();
+    let mut log_speedup_sum = 0.0f64;
+    for spec in &suite {
+        // Best of `reps` per kernel, interleaved so thermal/cache
+        // drift hits both sides equally.
+        let mut reference: Option<KernelRun> = None;
+        let mut dense: Option<KernelRun> = None;
+        for _ in 0..reps.max(1) {
+            let r = run_kernel(spec, seed, false);
+            if reference
+                .as_ref()
+                .is_none_or(|best| r.total_ns < best.total_ns)
+            {
+                reference = Some(r);
+            }
+            let d = run_kernel(spec, seed, true);
+            if dense.as_ref().is_none_or(|best| d.total_ns < best.total_ns) {
+                dense = Some(d);
+            }
+        }
+        let (reference, dense) = (reference.unwrap(), dense.unwrap());
+        assert_eq!(
+            reference.failed, 0,
+            "{}: reference kernel failed nets",
+            spec.name
+        );
+        assert_eq!(dense.failed, 0, "{}: dense kernel failed nets", spec.name);
+        let speedup = reference.ns_per_connection() / dense.ns_per_connection();
+        log_speedup_sum += speedup.ln();
+        eprintln!(
+            "  {}: {} nets, reference {:.0} ns/conn ({} conns), dense {:.0} ns/conn ({} conns) \
+             -> {:.2}x",
+            spec.name,
+            reference.routed,
+            reference.ns_per_connection(),
+            reference.connections,
+            dense.ns_per_connection(),
+            dense.connections,
+            speedup
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{}\", \"nets\": {}, \"grid\": [{}, {}], \
+             \"reference_ns_per_connection\": {:.1}, \"reference_connections\": {}, \
+             \"dense_ns_per_connection\": {:.1}, \"dense_connections\": {}, \
+             \"speedup\": {:.3}}}",
+            spec.name,
+            reference.routed,
+            spec.width,
+            spec.height,
+            reference.ns_per_connection(),
+            reference.connections,
+            dense.ns_per_connection(),
+            dense.connections,
+            speedup
+        ));
+    }
+    let geomean = (log_speedup_sum / suite.len() as f64).exp();
+    let json = format!(
+        "{{\n  \"bench\": \"search-kernel\",\n  \"seed\": {seed},\n  \"scale\": {scale},\n  \
+         \"reps\": {reps},\n  \"workloads\": [\n{}\n  ],\n  \"geomean_speedup\": {geomean:.3}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("geomean speedup: {geomean:.2}x -> {out}");
+}

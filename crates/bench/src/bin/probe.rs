@@ -8,7 +8,10 @@ use sadp_router::{Router, RouterConfig};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "ecc".into());
-    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let arm = std::env::args().nth(3).unwrap_or_else(|| "full".into());
     let spec = BenchSpec::paper_suite()
         .into_iter()
@@ -22,17 +25,40 @@ fn main() {
         "tpl" => RouterConfig::with_tpl(SadpKind::Sim),
         _ => RouterConfig::full(SadpKind::Sim),
     };
-    println!("{} nets={} grid={}x{} arm={arm}", spec.name, nl.len(), spec.width, spec.height);
+    println!(
+        "{} nets={} grid={}x{} arm={arm}",
+        spec.name,
+        nl.len(),
+        spec.width,
+        spec.height
+    );
     let t = std::time::Instant::now();
     let out = Router::new(spec.grid(), nl, config).run();
     println!(
         "route: ok={} cong={} fvp={} col={} WL={} vias={} in {:.1?}",
-        out.routed_all, out.congestion_free, out.fvp_free, out.colorable,
-        out.stats.wirelength, out.stats.vias, t.elapsed()
+        out.routed_all,
+        out.congestion_free,
+        out.fvp_free,
+        out.colorable,
+        out.stats.wirelength,
+        out.stats.vias,
+        t.elapsed()
     );
     let problem = DviProblem::build(SadpKind::Sim, &out.solution);
     let h = solve_heuristic(&problem, &DviParams::default());
-    println!("heur: dead={} uv={} in {:.1?}", h.dead_via_count, h.uncolorable_count, h.runtime);
-    let (l, st) = solve_ilp_lazy(&problem, &LazyIlpOptions { time_limit: Some(std::time::Duration::from_secs(900)), ..Default::default() });
-    println!("lazy: dead={} uv={} in {:.1?} optimal={}", l.dead_via_count, l.uncolorable_count, l.runtime, st.proven_optimal);
+    println!(
+        "heur: dead={} uv={} in {:.1?}",
+        h.dead_via_count, h.uncolorable_count, h.runtime
+    );
+    let (l, st) = solve_ilp_lazy(
+        &problem,
+        &LazyIlpOptions {
+            time_limit: Some(std::time::Duration::from_secs(900)),
+            ..Default::default()
+        },
+    );
+    println!(
+        "lazy: dead={} uv={} in {:.1?} optimal={}",
+        l.dead_via_count, l.uncolorable_count, l.runtime, st.proven_optimal
+    );
 }

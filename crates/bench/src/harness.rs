@@ -91,8 +91,7 @@ impl RunArgs {
                     i += 2;
                 }
                 "--circuits" => {
-                    out.circuits =
-                        Some(need(i).split(',').map(|s| s.trim().to_string()).collect());
+                    out.circuits = Some(need(i).split(',').map(|s| s.trim().to_string()).collect());
                     i += 2;
                 }
                 "--help" | "-h" => {
@@ -146,18 +145,18 @@ pub struct ArmMetrics {
 
 /// Routes one circuit under `config` and evaluates post-routing
 /// TPL-aware DVI with the chosen solver.
-pub fn run_arm(
-    spec: &BenchSpec,
-    config: RouterConfig,
-    args: &RunArgs,
-) -> ArmMetrics {
+pub fn run_arm(spec: &BenchSpec, config: RouterConfig, args: &RunArgs) -> ArmMetrics {
     let netlist = spec.generate(args.seed);
     let outcome = Router::new(spec.grid(), netlist, config).run();
     let problem = DviProblem::build(config.sadp, &outcome.solution);
     let (dv, uv, dvi_cpu) = match args.dvi_mode {
         DviMode::Heuristic => {
             let h = solve_heuristic(&problem, &DviParams::default());
-            (h.dead_via_count, h.uncolorable_count, h.runtime.as_secs_f64())
+            (
+                h.dead_via_count,
+                h.uncolorable_count,
+                h.runtime.as_secs_f64(),
+            )
         }
         DviMode::Ilp => {
             let (o, _stats) = solve_ilp_lazy(
@@ -167,7 +166,11 @@ pub fn run_arm(
                     ..LazyIlpOptions::default()
                 },
             );
-            (o.dead_via_count, o.uncolorable_count, o.runtime.as_secs_f64())
+            (
+                o.dead_via_count,
+                o.uncolorable_count,
+                o.runtime.as_secs_f64(),
+            )
         }
     };
     ArmMetrics {
@@ -244,8 +247,10 @@ pub fn arm_table(kind: SadpKind, title: &str) {
         t.row(cells);
     }
     print!("{}", t.render());
-    println!("(arm columns: base = plain SADP-aware routing, +DVI, +TPL, +both; \
-              all normalized against base)");
+    println!(
+        "(arm columns: base = plain SADP-aware routing, +DVI, +TPL, +both; \
+              all normalized against base)"
+    );
 }
 
 fn short(arm: &str) -> &'static str {
@@ -282,7 +287,10 @@ pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
         vec![0, 0, 0, 1, 0, 0, 0, 3],
     );
     // Paper normalizes against the heuristic columns.
-    t.normalize(1, 5).normalize(3, 7).normalize(5, 5).normalize(7, 7);
+    t.normalize(1, 5)
+        .normalize(3, 7)
+        .normalize(5, 5)
+        .normalize(7, 7);
     for spec in args.suite() {
         let netlist = spec.generate(args.seed);
         let outcome = Router::new(spec.grid(), netlist, RouterConfig::full(kind)).run();
@@ -324,8 +332,10 @@ pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
         ]);
     }
     print!("{}", t.render());
-    println!("(gap = proven optimality gap of the branch-and-bound ILP at the time limit; \
-              0 means optimal)");
+    println!(
+        "(gap = proven optimality gap of the branch-and-bound ILP at the time limit; \
+              0 means optimal)"
+    );
 }
 
 #[cfg(test)]

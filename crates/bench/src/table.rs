@@ -90,7 +90,9 @@ impl TableBuilder {
                 r.iter()
                     .enumerate()
                     .map(|(c, cell)| match cell {
-                        Cell::Num(v) => format!("{:.*}", self.decimals.get(c).copied().unwrap_or(1), v),
+                        Cell::Num(v) => {
+                            format!("{:.*}", self.decimals.get(c).copied().unwrap_or(1), v)
+                        }
                         Cell::Text(t) => t.clone(),
                     })
                     .collect(),
@@ -100,7 +102,11 @@ impl TableBuilder {
         let mut ave: Vec<String> = vec!["Ave.".to_string()];
         for (c, avg) in avgs.iter().enumerate().skip(1) {
             ave.push(match avg {
-                Some(v) => format!("{:.*}", self.decimals.get(c).copied().unwrap_or(1).max(1), v),
+                Some(v) => format!(
+                    "{:.*}",
+                    self.decimals.get(c).copied().unwrap_or(1).max(1),
+                    v
+                ),
                 None => String::new(),
             });
         }
@@ -129,7 +135,11 @@ impl TableBuilder {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         out.push_str(&sep);
         out.push('\n');
         let fmt_row = |cells: &[String]| -> String {
@@ -216,22 +226,14 @@ mod tests {
 
     #[test]
     fn decimals_control_precision() {
-        let mut t = TableBuilder::new(
-            "demo",
-            vec!["CKT".into(), "X".into()],
-            vec![0, 3],
-        );
+        let mut t = TableBuilder::new("demo", vec!["CKT".into(), "X".into()], vec![0, 3]);
         t.row(vec![text("a"), num(1.23456)]);
         assert!(t.render().contains("1.235"));
     }
 
     #[test]
     fn averages_skip_text() {
-        let mut t = TableBuilder::new(
-            "demo",
-            vec!["CKT".into(), "V".into()],
-            vec![0, 0],
-        );
+        let mut t = TableBuilder::new("demo", vec!["CKT".into(), "V".into()], vec![0, 0]);
         t.row(vec![text("a"), num(1.0)]);
         t.row(vec![text("b"), num(3.0)]);
         assert_eq!(t.averages()[1], Some(2.0));

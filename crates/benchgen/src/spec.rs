@@ -26,12 +26,42 @@ impl BenchSpec {
     /// The six circuits of Table I with their exact statistics.
     pub fn paper_suite() -> [BenchSpec; 6] {
         [
-            BenchSpec { name: "ecc", nets: 1671, width: 436, height: 446 },
-            BenchSpec { name: "efc", nets: 2219, width: 406, height: 421 },
-            BenchSpec { name: "ctl", nets: 2706, width: 496, height: 503 },
-            BenchSpec { name: "alu", nets: 3108, width: 406, height: 408 },
-            BenchSpec { name: "div", nets: 5813, width: 636, height: 646 },
-            BenchSpec { name: "top", nets: 22201, width: 1176, height: 1179 },
+            BenchSpec {
+                name: "ecc",
+                nets: 1671,
+                width: 436,
+                height: 446,
+            },
+            BenchSpec {
+                name: "efc",
+                nets: 2219,
+                width: 406,
+                height: 421,
+            },
+            BenchSpec {
+                name: "ctl",
+                nets: 2706,
+                width: 496,
+                height: 503,
+            },
+            BenchSpec {
+                name: "alu",
+                nets: 3108,
+                width: 406,
+                height: 408,
+            },
+            BenchSpec {
+                name: "div",
+                nets: 5813,
+                width: 636,
+                height: 646,
+            },
+            BenchSpec {
+                name: "top",
+                nets: 22201,
+                width: 1176,
+                height: 1179,
+            },
         ]
     }
 
@@ -86,9 +116,7 @@ impl BenchSpec {
                 };
                 let cx = rng.gen_range(margin..(self.width - margin - 1).max(margin + 1));
                 let cy = rng.gen_range(margin..(self.height - margin - 1).max(margin + 1));
-                if let Some(pins) =
-                    place_pins(&mut rng, &used, self, cx, cy, span, pin_count)
-                {
+                if let Some(pins) = place_pins(&mut rng, &used, self, cx, cy, span, pin_count) {
                     for &p in &pins {
                         used.insert((p.x, p.y));
                     }
@@ -119,7 +147,7 @@ impl BenchSpec {
         // Buses: groups of up to 8 bits, PIN_SPACING tracks apart.
         'buses: while netlist.len() < bus_nets && attempts < 50 * self.nets.max(10) {
             attempts += 1;
-            let bits = (2 + rng.gen_range(0..7)).min(bus_nets - netlist.len());
+            let bits = (2 + rng.gen_range(0..7usize)).min(bus_nets - netlist.len());
             let len = rng.gen_range(8..(self.width / 2).max(9));
             let x0 = rng.gen_range(2..(self.width - len - 2).max(3));
             let y0 = rng.gen_range(2..(self.height - PIN_SPACING * bits as i32 - 2).max(3));
@@ -144,7 +172,10 @@ impl BenchSpec {
             for (b, pair) in pins.chunks(2).enumerate() {
                 netlist.push(Net::new(
                     format!("{}_bus{}_{}", self.name, netlist.len(), b),
-                    vec![Pin::new(pair[0].0, pair[0].1), Pin::new(pair[1].0, pair[1].1)],
+                    vec![
+                        Pin::new(pair[0].0, pair[0].1),
+                        Pin::new(pair[1].0, pair[1].1),
+                    ],
                 ));
             }
         }
@@ -314,7 +345,12 @@ mod tests {
 
     #[test]
     fn net_size_distribution_is_sane() {
-        let spec = BenchSpec { name: "t", nets: 400, width: 300, height: 300 };
+        let spec = BenchSpec {
+            name: "t",
+            nets: 400,
+            width: 300,
+            height: 300,
+        };
         let nl = spec.generate(11);
         assert_eq!(nl.len(), 400);
         let two = nl.iter().filter(|(_, n)| n.pins().len() == 2).count();
@@ -325,7 +361,12 @@ mod tests {
 
     #[test]
     fn bus_style_generates_buses() {
-        let spec = BenchSpec { name: "dp", nets: 200, width: 200, height: 200 };
+        let spec = BenchSpec {
+            name: "dp",
+            nets: 200,
+            width: 200,
+            height: 200,
+        };
         let nl = spec.generate_bus_style(5, 0.5);
         assert_eq!(nl.len(), 200);
         let bus_count = nl.iter().filter(|(_, n)| n.name().contains("_bus")).count();

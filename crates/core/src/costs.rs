@@ -110,6 +110,21 @@ impl CostParams {
         self.non_preferred_turn * SCALE
     }
 
+    /// The smallest possible cost of any single planar step — the
+    /// per-track floor of the A* lower bound. Every wire step costs at
+    /// least this much because the dynamic additions (penalty maps,
+    /// history, usage) are all non-negative.
+    pub fn min_wire_step(&self) -> i64 {
+        self.wire_step(true).min(self.wire_step(false))
+    }
+
+    /// The smallest possible cost of any single via — the per-layer
+    /// floor of the A* lower bound ([`CostParams::via_step`] before
+    /// the non-negative penalty/TPLC additions).
+    pub fn min_via_step(&self) -> i64 {
+        self.via_step()
+    }
+
     /// Scaled usage cost for `others` other nets on a point.
     pub fn usage_cost(&self, others: usize) -> i64 {
         self.usage * SCALE * others as i64
@@ -160,6 +175,15 @@ mod tests {
         assert!(p.via_step() > p.wire_step(true));
         assert!(p.usage_cost(2) == 2 * p.usage_cost(1));
         assert_eq!(p.usage_cost(0), 0);
+    }
+
+    #[test]
+    fn min_steps_bound_every_step_cost() {
+        let p = CostParams::default();
+        assert!(p.min_wire_step() <= p.wire_step(true));
+        assert!(p.min_wire_step() <= p.wire_step(false));
+        assert_eq!(p.min_via_step(), p.via_step());
+        assert!(p.min_wire_step() > 0, "A* floors must be positive");
     }
 
     #[test]

@@ -1,283 +1,60 @@
-//! The modified Dijkstra search over the pre-colored routing graph,
-//! and whole-net routing (multi-pin tree growth).
+//! Whole-net routing: multi-pin tree growth over the dense A* kernel
+//! of [`crate::search`], with escalating search windows.
 //!
-//! Search states are `(grid point, incoming direction)` so that turn
-//! penalties and forbidden-turn pruning are exact: the cost of
-//! entering a point depends on how the wire leaves the previous one.
+//! The kernel itself (search states, turn pruning, cost model) lives
+//! in [`crate::search`]; this module re-exports its vocabulary types
+//! so existing imports keep working.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
-use sadp_decomp::{classify_turn, TurnClass};
-use sadp_grid::{Dir, GridPoint, Net, NetId, RoutedNet, TurnKind, Via, WireEdge};
+use sadp_grid::{Dir, GridPoint, Net, NetId, RoutedNet, Via, WireEdge};
 
+pub use crate::search::{route_connection, FoundPath, SearchScratch, Window};
 use crate::state::RouterState;
-
-/// A rectangular search window in track coordinates (inclusive).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Window {
-    /// Left bound.
-    pub x0: i32,
-    /// Bottom bound.
-    pub y0: i32,
-    /// Right bound.
-    pub x1: i32,
-    /// Top bound.
-    pub y1: i32,
-}
-
-impl Window {
-    /// The window spanning a set of points, inflated by `margin` and
-    /// clamped to the grid.
-    pub fn around<I: IntoIterator<Item = (i32, i32)>>(
-        points: I,
-        margin: i32,
-        width: i32,
-        height: i32,
-    ) -> Window {
-        let (mut x0, mut y0, mut x1, mut y1) = (i32::MAX, i32::MAX, i32::MIN, i32::MIN);
-        for (x, y) in points {
-            x0 = x0.min(x);
-            y0 = y0.min(y);
-            x1 = x1.max(x);
-            y1 = y1.max(y);
-        }
-        Window {
-            x0: (x0 - margin).max(0),
-            y0: (y0 - margin).max(0),
-            x1: (x1 + margin).min(width - 1),
-            y1: (y1 + margin).min(height - 1),
-        }
-    }
-
-    /// `true` when `(x, y)` lies inside the window.
-    #[inline]
-    pub fn contains(&self, x: i32, y: i32) -> bool {
-        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
-    }
-}
-
-/// A path found by [`route_connection`].
-#[derive(Debug, Clone, Default)]
-pub struct FoundPath {
-    /// New wire edges.
-    pub edges: Vec<WireEdge>,
-    /// New vias.
-    pub vias: Vec<Via>,
-    /// Total cost in [`crate::costs::SCALE`] units.
-    pub cost: i64,
-}
-
-const IN_NONE: u8 = 6;
-
-#[inline]
-fn dir_code(d: Dir) -> u8 {
-    match d {
-        Dir::East => 0,
-        Dir::West => 1,
-        Dir::North => 2,
-        Dir::South => 3,
-        Dir::Up => 4,
-        Dir::Down => 5,
-    }
-}
-
-#[inline]
-fn code_dir(c: u8) -> Option<Dir> {
-    Some(match c {
-        0 => Dir::East,
-        1 => Dir::West,
-        2 => Dir::North,
-        3 => Dir::South,
-        4 => Dir::Up,
-        5 => Dir::Down,
-        _ => return None,
-    })
-}
-
-#[inline]
-fn key(p: GridPoint, in_code: u8) -> u64 {
-    ((p.layer as u64) << 56)
-        | ((p.x as u32 as u64 & 0xFFFFFF) << 32)
-        | ((p.y as u32 as u64 & 0xFFFFFF) << 8)
-        | in_code as u64
-}
-
-#[inline]
-fn unkey(k: u64) -> (GridPoint, u8) {
-    let layer = (k >> 56) as u8;
-    let x = ((k >> 32) & 0xFFFFFF) as u32;
-    let y = ((k >> 8) & 0xFFFFFF) as u32;
-    // Sign-extend 24-bit values (coordinates are always >= 0 here, but
-    // keep it robust).
-    let sx = ((x << 8) as i32) >> 8;
-    let sy = ((y << 8) as i32) >> 8;
-    (GridPoint::new(layer, sx, sy), (k & 0xFF) as u8)
-}
-
-/// Searches a minimum-cost path from the source tree to `target`.
-///
-/// * `sources` — tree points on routing layers with their existing
-///   arm directions (turn legality at branch points is checked
-///   against them);
-/// * `tree_points` — all tree points; they cannot be traversed (a
-///   path may only *start* at the tree);
-/// * `target` — the pad to reach (on a routing layer).
-///
-/// Returns `None` when no path exists inside the window.
-pub fn route_connection(
-    state: &RouterState,
-    net: NetId,
-    sources: &HashMap<GridPoint, Vec<Dir>>,
-    tree_points: &HashSet<GridPoint>,
-    target: GridPoint,
-    window: Window,
-) -> Option<FoundPath> {
-    let params = &state.params;
-    let grid = &state.grid;
-    let mut dist: HashMap<u64, i64> = HashMap::new();
-    let mut parent: HashMap<u64, u64> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(i64, u64)>> = BinaryHeap::new();
-
-    for &p in sources.keys() {
-        let k = key(p, IN_NONE);
-        dist.insert(k, 0);
-        heap.push(Reverse((0, k)));
-    }
-
-    let mut goal_key: Option<u64> = None;
-    while let Some(Reverse((d, k))) = heap.pop() {
-        if dist.get(&k).copied().unwrap_or(i64::MAX) < d {
-            continue;
-        }
-        let (p, in_code) = unkey(k);
-        if p == target {
-            goal_key = Some(k);
-            break;
-        }
-        let in_dir = code_dir(in_code);
-
-        // Planar moves.
-        for dir in Dir::PLANAR {
-            if let Some(in_d) = in_dir {
-                if in_d.is_planar() && dir == in_d.opposite() {
-                    continue; // no immediate U-turn
-                }
-            }
-            let mut extra = 0i64;
-            // Turn legality mid-path.
-            if let Some(in_d) = in_dir {
-                if in_d.is_planar() && in_d.axis() != dir.axis() {
-                    let arm = in_d.opposite();
-                    let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
-                    match classify_turn(state.kind, p.x, p.y, turn) {
-                        TurnClass::Forbidden => continue,
-                        TurnClass::NonPreferred => extra += params.turn_penalty(),
-                        TurnClass::Preferred => {}
-                    }
-                }
-            }
-            // Turn legality at branch points (source states).
-            if in_dir.is_none() {
-                if let Some(arms) = sources.get(&p) {
-                    let mut ok = true;
-                    for &arm in arms {
-                        if arm.axis() == dir.axis() {
-                            continue;
-                        }
-                        let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
-                        match classify_turn(state.kind, p.x, p.y, turn) {
-                            TurnClass::Forbidden => {
-                                ok = false;
-                                break;
-                            }
-                            TurnClass::NonPreferred => extra += params.turn_penalty(),
-                            TurnClass::Preferred => {}
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
-                }
-            }
-            let v = p.stepped(dir);
-            if !grid.in_bounds(v) || !window.contains(v.x, v.y) {
-                continue;
-            }
-            if tree_points.contains(&v) && v != target {
-                continue; // never traverse the existing tree
-            }
-            let preferred = grid.preferred_axis(p.layer) == dir.axis();
-            let step = params.wire_step(preferred) + state.vertex_cost(v, net) + extra;
-            relax(&mut dist, &mut parent, &mut heap, k, key(v, dir_code(dir)), d + step);
-        }
-
-        // Via moves between adjacent routing layers.
-        for dir in [Dir::Up, Dir::Down] {
-            let v = p.stepped(dir);
-            if v.layer >= grid.layer_count() || !grid.is_routing_layer(v.layer) {
-                continue;
-            }
-            if let Some(in_d) = in_dir {
-                if !in_d.is_planar() && dir == in_d.opposite() {
-                    continue;
-                }
-            }
-            if tree_points.contains(&v) && v != target {
-                continue;
-            }
-            let vl = p.layer.min(v.layer);
-            let Some(via_cost) = state.via_cost(vl, p.x, p.y) else {
-                continue; // blocked via location
-            };
-            let step = via_cost + state.vertex_cost(v, net);
-            relax(&mut dist, &mut parent, &mut heap, k, key(v, dir_code(dir)), d + step);
-        }
-    }
-
-    let goal = goal_key?;
-    // Reconstruct.
-    let mut edges = Vec::new();
-    let mut vias = Vec::new();
-    let mut cur = goal;
-    let cost = dist[&goal];
-    while let Some(&prev) = parent.get(&cur) {
-        let (cp, _) = unkey(cur);
-        let (pp, _) = unkey(prev);
-        if cp.layer == pp.layer {
-            edges.push(WireEdge::between(pp, cp).expect("adjacent"));
-        } else {
-            vias.push(Via::new(cp.layer.min(pp.layer), cp.x, cp.y));
-        }
-        cur = prev;
-    }
-    Some(FoundPath { edges, vias, cost })
-}
-
-#[inline]
-fn relax(
-    dist: &mut HashMap<u64, i64>,
-    parent: &mut HashMap<u64, u64>,
-    heap: &mut BinaryHeap<Reverse<(i64, u64)>>,
-    from: u64,
-    to: u64,
-    cost: i64,
-) {
-    let cur = dist.get(&to).copied().unwrap_or(i64::MAX);
-    if cost < cur {
-        dist.insert(to, cost);
-        parent.insert(to, from);
-        heap.push(Reverse((cost, to)));
-    }
-}
 
 /// Routes a whole (multi-pin) net: grows a tree from the first pin,
 /// connecting the nearest unconnected pin each round, with an
-/// escalating search window.
+/// escalating search window. `scratch` holds the reusable search
+/// buffers (create one per thread, pass it to every call).
 ///
 /// Returns `None` when some pin cannot be connected even with a
 /// full-grid window.
-pub fn route_net(state: &RouterState, id: NetId, net: &Net) -> Option<RoutedNet> {
+pub fn route_net(
+    state: &RouterState,
+    id: NetId,
+    net: &Net,
+    scratch: &mut SearchScratch,
+) -> Option<RoutedNet> {
+    route_net_with(
+        state,
+        id,
+        net,
+        |state, id, sources, tree, target, window| {
+            route_connection(state, id, sources, tree, target, window, scratch)
+        },
+    )
+}
+
+/// [`route_net`] generic over the point-to-tree search kernel: the
+/// tree-growth logic calls `connect` once per attempted connection
+/// (per window-escalation step). Used to run the reference kernel and
+/// for kernel differential tests.
+pub fn route_net_with<F>(
+    state: &RouterState,
+    id: NetId,
+    net: &Net,
+    mut connect: F,
+) -> Option<RoutedNet>
+where
+    F: FnMut(
+        &RouterState,
+        NetId,
+        &HashMap<GridPoint, Vec<Dir>>,
+        &HashSet<GridPoint>,
+        GridPoint,
+        Window,
+    ) -> Option<FoundPath>,
+{
     let first_routing = state.grid.first_routing_layer();
     let pads: Vec<GridPoint> = net
         .pins()
@@ -291,22 +68,24 @@ pub fn route_net(state: &RouterState, id: NetId, net: &Net) -> Option<RoutedNet>
     tree_points.insert(pads[0]);
 
     let mut remaining: Vec<GridPoint> = pads[1..].to_vec();
+    // Running minimum tree distance per remaining pad, kept in sync
+    // with `remaining` under swap_remove and updated incrementally as
+    // tree points are added — O(new tree points × remaining pads)
+    // total instead of O(|tree| × |remaining|) per round.
+    let mut best_d: Vec<u32> = remaining
+        .iter()
+        .map(|pad| pads[0].manhattan(*pad))
+        .collect();
     while !remaining.is_empty() {
         // Nearest unconnected pad to the tree.
-        let (idx, _) = remaining
+        let (idx, _) = best_d
             .iter()
             .enumerate()
-            .map(|(i, pad)| {
-                let d = tree_points
-                    .iter()
-                    .map(|t| t.manhattan(*pad))
-                    .min()
-                    .unwrap_or(u32::MAX);
-                (i, d)
-            })
+            .map(|(i, &d)| (i, d))
             .min_by_key(|&(i, d)| (d, i))
             .expect("remaining non-empty");
         let target = remaining.swap_remove(idx);
+        best_d.swap_remove(idx);
         if tree_points.contains(&target) {
             continue;
         }
@@ -332,25 +111,33 @@ pub fn route_net(state: &RouterState, id: NetId, net: &Net) -> Option<RoutedNet>
                 margin.min(state.grid.width().max(state.grid.height())),
                 state.grid.width(),
                 state.grid.height(),
-            );
-            found = route_connection(state, id, &sources, &tree_points, target, window);
+            )
+            .expect("span contains the target");
+            found = connect(state, id, &sources, &tree_points, target, window);
             if found.is_some() {
                 break;
             }
         }
         let path = found?;
+        let grow = |p: GridPoint, tree_points: &mut HashSet<GridPoint>, best_d: &mut Vec<u32>| {
+            if tree_points.insert(p) {
+                for (d, pad) in best_d.iter_mut().zip(remaining.iter()) {
+                    *d = (*d).min(p.manhattan(*pad));
+                }
+            }
+        };
         for e in path.edges {
             for p in e.endpoints() {
-                tree_points.insert(p);
+                grow(p, &mut tree_points, &mut best_d);
             }
             edges.push(e);
         }
         for v in path.vias {
-            tree_points.insert(v.bottom());
-            tree_points.insert(v.top());
+            grow(v.bottom(), &mut tree_points, &mut best_d);
+            grow(v.top(), &mut tree_points, &mut best_d);
             vias.push(v);
         }
-        tree_points.insert(target);
+        grow(target, &mut tree_points, &mut best_d);
     }
     Some(RoutedNet::new(edges, vias))
 }
@@ -359,6 +146,7 @@ pub fn route_net(state: &RouterState, id: NetId, net: &Net) -> Option<RoutedNet>
 mod tests {
     use super::*;
     use crate::costs::CostParams;
+    use sadp_decomp::{classify_turn, TurnClass};
     use sadp_grid::{Net, Netlist, Pin, RoutingGrid, SadpKind};
 
     fn state_with(nets: Vec<Net>) -> (Netlist, RouterState) {
@@ -367,41 +155,18 @@ mod tests {
             nl.push(n);
         }
         let grid = RoutingGrid::three_layer(24, 24);
-        let st = RouterState::new(
-            grid,
-            &nl,
-            SadpKind::Sim,
-            CostParams::default(),
-            true,
-            true,
-        );
+        let st = RouterState::new(grid, &nl, SadpKind::Sim, CostParams::default(), true, true);
         (nl, st)
     }
 
-    #[test]
-    fn window_clamps_to_grid() {
-        let w = Window::around([(0, 0), (5, 5)], 10, 24, 24);
-        assert_eq!(w, Window { x0: 0, y0: 0, x1: 15, y1: 15 });
-        assert!(w.contains(0, 0));
-        assert!(!w.contains(16, 0));
-    }
-
-    #[test]
-    fn key_round_trips() {
-        let p = GridPoint::new(2, 1175, 1178);
-        for c in 0..7u8 {
-            let (q, cc) = unkey(key(p, c));
-            assert_eq!((q, cc), (p, c));
-        }
+    fn route(st: &RouterState, id: NetId, net: &Net) -> Option<RoutedNet> {
+        route_net(st, id, net, &mut SearchScratch::new())
     }
 
     #[test]
     fn routes_a_straight_net() {
-        let (nl, st) = state_with(vec![Net::new(
-            "a",
-            vec![Pin::new(4, 6), Pin::new(12, 6)],
-        )]);
-        let r = route_net(&st, NetId(0), &nl[NetId(0)]).expect("routable");
+        let (nl, st) = state_with(vec![Net::new("a", vec![Pin::new(4, 6), Pin::new(12, 6)])]);
+        let r = route(&st, NetId(0), &nl[NetId(0)]).expect("routable");
         // Straight on M2 (horizontal preferred): wirelength 8, two pin
         // vias, no M3.
         assert_eq!(r.wirelength(), 8);
@@ -411,18 +176,14 @@ mod tests {
 
     #[test]
     fn routes_an_l_net_via_m3() {
-        let (nl, st) = state_with(vec![Net::new(
-            "a",
-            vec![Pin::new(4, 4), Pin::new(10, 10)],
-        )]);
-        let r = route_net(&st, NetId(0), &nl[NetId(0)]).expect("routable");
+        let (nl, st) = state_with(vec![Net::new("a", vec![Pin::new(4, 4), Pin::new(10, 10)])]);
+        let r = route(&st, NetId(0), &nl[NetId(0)]).expect("routable");
         // Manhattan distance 12; a via pair to M3 for the vertical
         // leg is cheaper than a non-preferred M2 leg of length 6.
         assert_eq!(r.wirelength(), 12);
         assert!(r.via_count() >= 3, "expected M3 usage, got {r:?}");
         // The route must be connected.
-        let mut sol =
-            sadp_grid::RoutingSolution::new(st.grid.clone(), &nl);
+        let mut sol = sadp_grid::RoutingSolution::new(st.grid.clone(), &nl);
         sol.set_route(NetId(0), r);
         assert!(sol.connectivity_errors(&nl).is_empty());
     }
@@ -433,7 +194,29 @@ mod tests {
             "a",
             vec![Pin::new(4, 4), Pin::new(12, 4), Pin::new(8, 10)],
         )]);
-        let r = route_net(&st, NetId(0), &nl[NetId(0)]).expect("routable");
+        let r = route(&st, NetId(0), &nl[NetId(0)]).expect("routable");
+        let mut sol = sadp_grid::RoutingSolution::new(st.grid.clone(), &nl);
+        sol.set_route(NetId(0), r);
+        assert!(sol.connectivity_errors(&nl).is_empty());
+    }
+
+    #[test]
+    fn many_pin_nets_connect_every_pad() {
+        // Stresses the incremental nearest-pad bookkeeping: pads are
+        // picked up in nearest-first order while the tree reshapes the
+        // distance landscape every round.
+        let (nl, st) = state_with(vec![Net::new(
+            "a",
+            vec![
+                Pin::new(2, 2),
+                Pin::new(20, 2),
+                Pin::new(2, 20),
+                Pin::new(20, 20),
+                Pin::new(11, 11),
+                Pin::new(5, 14),
+            ],
+        )]);
+        let r = route(&st, NetId(0), &nl[NetId(0)]).expect("routable");
         let mut sol = sadp_grid::RoutingSolution::new(st.grid.clone(), &nl);
         sol.set_route(NetId(0), r);
         assert!(sol.connectivity_errors(&nl).is_empty());
@@ -447,7 +230,7 @@ mod tests {
                 "a",
                 vec![Pin::new(3 + k, 3), Pin::new(15, 9 + k)],
             )]);
-            let r = route_net(&st, NetId(0), &nl[NetId(0)]).expect("routable");
+            let r = route(&st, NetId(0), &nl[NetId(0)]).expect("routable");
             for (p, t) in r.turns() {
                 assert_ne!(
                     classify_turn(SadpKind::Sim, p.x, p.y, t),
@@ -460,10 +243,7 @@ mod tests {
 
     #[test]
     fn avoids_blocked_vias() {
-        let (nl, mut st) = state_with(vec![Net::new(
-            "a",
-            vec![Pin::new(4, 4), Pin::new(10, 10)],
-        )]);
+        let (nl, mut st) = state_with(vec![Net::new("a", vec![Pin::new(4, 4), Pin::new(10, 10)])]);
         // Block everything on via layer 1 except a corridor at x=9.
         st.enforce_blocked = true;
         for x in 0..24 {
@@ -473,7 +253,7 @@ mod tests {
                 }
             }
         }
-        let r = route_net(&st, NetId(0), &nl[NetId(0)]).expect("routable");
+        let r = route(&st, NetId(0), &nl[NetId(0)]).expect("routable");
         for v in r.vias() {
             if v.below == 1 {
                 assert_eq!(v.x, 9, "via outside corridor: {v}");
@@ -487,13 +267,23 @@ mod tests {
         nl.push(Net::new("a", vec![Pin::new(4, 4), Pin::new(12, 10)]));
         let grid = RoutingGrid::three_layer(24, 24);
         let sim = RouterState::new(
-            grid.clone(), &nl, SadpKind::Sim, CostParams::default(), true, true,
+            grid.clone(),
+            &nl,
+            SadpKind::Sim,
+            CostParams::default(),
+            true,
+            true,
         );
         let trim = RouterState::new(
-            grid, &nl, SadpKind::SimTrim, CostParams::default(), true, true,
+            grid,
+            &nl,
+            SadpKind::SimTrim,
+            CostParams::default(),
+            true,
+            true,
         );
-        let ra = route_net(&sim, NetId(0), &nl[NetId(0)]).unwrap();
-        let rb = route_net(&trim, NetId(0), &nl[NetId(0)]).unwrap();
+        let ra = route(&sim, NetId(0), &nl[NetId(0)]).unwrap();
+        let rb = route(&trim, NetId(0), &nl[NetId(0)]).unwrap();
         // Identical turn rules => identical routes.
         assert_eq!(ra, rb);
     }
@@ -506,9 +296,14 @@ mod tests {
         nl.push(Net::new("far", vec![Pin::new(2, 2), Pin::new(60, 60)]));
         let grid = RoutingGrid::three_layer(64, 64);
         let st = RouterState::new(
-            grid, &nl, SadpKind::Sim, CostParams::default(), false, false,
+            grid,
+            &nl,
+            SadpKind::Sim,
+            CostParams::default(),
+            false,
+            false,
         );
-        let r = route_net(&st, NetId(0), &nl[NetId(0)]).expect("routable");
+        let r = route(&st, NetId(0), &nl[NetId(0)]).expect("routable");
         assert_eq!(r.wirelength(), 116);
     }
 
@@ -519,11 +314,11 @@ mod tests {
             Net::new("b", vec![Pin::new(2, 6), Pin::new(14, 6)]),
         ]);
         // Route net a straight along y=6 on M2.
-        let ra = route_net(&st, NetId(0), &nl[NetId(0)]).unwrap();
+        let ra = route(&st, NetId(0), &nl[NetId(0)]).unwrap();
         st.install_route(NetId(0), ra);
         // Net b shares the y=6 corridor but its straight path is
         // occupied by net a; it must detour.
-        let rb = route_net(&st, NetId(1), &nl[NetId(1)]).unwrap();
+        let rb = route(&st, NetId(1), &nl[NetId(1)]).unwrap();
         // It must not overlap net a's wire points.
         let mut overlap = 0;
         for e in rb.edges() {

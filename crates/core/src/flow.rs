@@ -8,8 +8,10 @@ use std::time::{Duration, Instant};
 use sadp_grid::{Netlist, RoutingGrid, RoutingSolution, SadpKind, SolutionStats};
 
 use crate::costs::CostParams;
-use crate::rnr::{ensure_colorable, initial_routing, negotiate_congestion, tpl_violation_removal,
-                 RnrStats};
+use crate::rnr::{
+    ensure_colorable, initial_routing, negotiate_congestion, tpl_violation_removal, RnrStats,
+};
+use crate::search::SearchScratch;
 use crate::state::RouterState;
 
 /// Configuration of one routing run — the four experiment arms of the
@@ -135,7 +137,11 @@ impl Router {
         } else {
             cfg.max_congestion_iters
         };
-        let tpl_cap = if cfg.max_tpl_iters == 0 { auto_cap } else { cfg.max_tpl_iters };
+        let tpl_cap = if cfg.max_tpl_iters == 0 {
+            auto_cap
+        } else {
+            cfg.max_tpl_iters
+        };
 
         let mut state = RouterState::new(
             self.grid,
@@ -145,17 +151,25 @@ impl Router {
             cfg.consider_dvi,
             cfg.consider_tpl,
         );
-        let failed = initial_routing(&mut state, &self.netlist);
+        // One scratch arena serves every search of the run.
+        let mut scratch = SearchScratch::new();
+        let failed = initial_routing(&mut state, &self.netlist, &mut scratch);
         let (mut congestion_free, congestion_stats) =
-            negotiate_congestion(&mut state, &self.netlist, cong_cap);
+            negotiate_congestion(&mut state, &self.netlist, cong_cap, &mut scratch);
 
         let mut tpl_stats = RnrStats::default();
         let colorable;
         if cfg.consider_tpl {
-            let (clean, stats) = tpl_violation_removal(&mut state, &self.netlist, tpl_cap);
+            let (clean, stats) =
+                tpl_violation_removal(&mut state, &self.netlist, tpl_cap, &mut scratch);
             tpl_stats = stats;
             congestion_free = clean || state.congested_points().is_empty();
-            colorable = ensure_colorable(&mut state, &self.netlist, cfg.coloring_attempts);
+            colorable = ensure_colorable(
+                &mut state,
+                &self.netlist,
+                cfg.coloring_attempts,
+                &mut scratch,
+            );
         } else {
             // Report-only: check colorability without fixing.
             colorable = crate::audit::via_layers_colorable(&state);
@@ -188,7 +202,10 @@ mod tests {
         nl.push(Net::new("a", vec![Pin::new(4, 4), Pin::new(16, 4)]));
         nl.push(Net::new("b", vec![Pin::new(4, 8), Pin::new(16, 12)]));
         nl.push(Net::new("c", vec![Pin::new(8, 4), Pin::new(8, 16)]));
-        nl.push(Net::new("d", vec![Pin::new(6, 6), Pin::new(14, 14), Pin::new(6, 14)]));
+        nl.push(Net::new(
+            "d",
+            vec![Pin::new(6, 6), Pin::new(14, 14), Pin::new(6, 14)],
+        ));
         nl
     }
 

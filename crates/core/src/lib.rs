@@ -40,8 +40,10 @@ pub mod costs;
 pub mod dijkstra;
 pub mod flow;
 pub mod rnr;
+pub mod search;
 pub mod state;
 
 pub use audit::{full_audit, mask_audit, FullAudit};
 pub use costs::CostParams;
 pub use flow::{Router, RouterConfig, RoutingOutcome};
+pub use search::SearchScratch;

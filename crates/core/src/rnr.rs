@@ -9,6 +9,7 @@ use sadp_grid::{GridPoint, NetId, Netlist, Via};
 use tpl_decomp::{exact_color, welsh_powell, DecompGraph};
 
 use crate::dijkstra::route_net;
+use crate::search::SearchScratch;
 use crate::state::RouterState;
 
 /// Counters reported by the R&R phases.
@@ -33,14 +34,19 @@ fn pin_map(netlist: &Netlist) -> HashMap<(i32, i32), Vec<NetId>> {
     map
 }
 
-/// Routes every net once, in increasing-HPWL order. Returns the nets
-/// that could not be routed at all (normally empty).
-pub fn initial_routing(state: &mut RouterState, netlist: &Netlist) -> Vec<NetId> {
+/// Routes every net once, in increasing-HPWL order, sharing one
+/// search scratch across all nets. Returns the nets that could not be
+/// routed at all (normally empty).
+pub fn initial_routing(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    scratch: &mut SearchScratch,
+) -> Vec<NetId> {
     let mut order: Vec<NetId> = netlist.iter().map(|(id, _)| id).collect();
     order.sort_by_key(|&id| (netlist[id].hpwl(), id));
     let mut failed = Vec::new();
     for id in order {
-        match route_net(state, id, &netlist[id]) {
+        match route_net(state, id, &netlist[id], scratch) {
             Some(route) => state.install_route(id, route),
             None => failed.push(id),
         }
@@ -50,11 +56,16 @@ pub fn initial_routing(state: &mut RouterState, netlist: &Netlist) -> Vec<NetId>
 
 /// Rips and reroutes `id`, reinstalling the old route when no new one
 /// is found. Returns `true` on a successful reroute.
-fn reroute(state: &mut RouterState, netlist: &Netlist, id: NetId) -> bool {
+fn reroute(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    id: NetId,
+    scratch: &mut SearchScratch,
+) -> bool {
     let Some(old) = state.uninstall_route(id) else {
         return false;
     };
-    match route_net(state, id, &netlist[id]) {
+    match route_net(state, id, &netlist[id], scratch) {
         Some(new_route) => {
             state.install_route(id, new_route);
             true
@@ -64,7 +75,7 @@ fn reroute(state: &mut RouterState, netlist: &Netlist, id: NetId) -> bool {
             // valve; any new FVP re-enters the queue).
             let was = state.enforce_blocked;
             state.enforce_blocked = false;
-            let retry = route_net(state, id, &netlist[id]);
+            let retry = route_net(state, id, &netlist[id], scratch);
             state.enforce_blocked = was;
             match retry {
                 Some(new_route) => {
@@ -102,8 +113,7 @@ fn rip_candidate_at(
             // wire may also pass here; rerouting is still the only
             // lever, except for pure pin pads which every route of
             // that net must touch. Exclude nets pinned exactly here.
-            !(p.layer <= first_routing
-                && pins.get(&(p.x, p.y)).is_some_and(|v| v.contains(id)))
+            !(p.layer <= first_routing && pins.get(&(p.x, p.y)).is_some_and(|v| v.contains(id)))
         })
         .collect();
     if candidates.is_empty() {
@@ -121,6 +131,7 @@ pub fn negotiate_congestion(
     state: &mut RouterState,
     netlist: &Netlist,
     max_iters: usize,
+    scratch: &mut SearchScratch,
 ) -> (bool, RnrStats) {
     let pins = pin_map(netlist);
     let mut stats = RnrStats::default();
@@ -136,7 +147,7 @@ pub fn negotiate_congestion(
         rotation += 1;
         stats.iterations += 1;
         state.bump_history(p);
-        if reroute(state, netlist, victim) {
+        if reroute(state, netlist, victim, scratch) {
             stats.reroutes += 1;
         } else {
             stats.failures += 1;
@@ -188,6 +199,7 @@ pub fn tpl_violation_removal(
     state: &mut RouterState,
     netlist: &Netlist,
     max_iters: usize,
+    scratch: &mut SearchScratch,
 ) -> (bool, RnrStats) {
     let pins = pin_map(netlist);
     state.enforce_blocked = true;
@@ -196,18 +208,20 @@ pub fn tpl_violation_removal(
     let mut stats = RnrStats::default();
     let mut seq = 0u64;
     let mut heap: BinaryHeap<Reverse<(u8, u64, Violation)>> = BinaryHeap::new();
-    let push = |heap: &mut BinaryHeap<Reverse<(u8, u64, Violation)>>,
-                    seq: &mut u64,
-                    v: Violation| {
-        *seq += 1;
-        heap.push(Reverse((v.rank(), *seq, v)));
-    };
+    let push =
+        |heap: &mut BinaryHeap<Reverse<(u8, u64, Violation)>>, seq: &mut u64, v: Violation| {
+            *seq += 1;
+            heap.push(Reverse((v.rank(), *seq, v)));
+        };
     for p in state.congested_points() {
         push(&mut heap, &mut seq, Violation::Congestion(p));
     }
     for vl in 0..state.grid.via_layer_count() {
-        let mut windows: Vec<(i32, i32)> =
-            state.fvp[vl as usize].fvp_windows().iter().copied().collect();
+        let mut windows: Vec<(i32, i32)> = state.fvp[vl as usize]
+            .fvp_windows()
+            .iter()
+            .copied()
+            .collect();
         windows.sort_unstable();
         for w in windows {
             push(&mut heap, &mut seq, Violation::Fvp(vl, w));
@@ -266,7 +280,7 @@ pub fn tpl_violation_removal(
         };
         rotation += 1;
         stats.iterations += 1;
-        if reroute(state, netlist, victim) {
+        if reroute(state, netlist, victim, scratch) {
             stats.reroutes += 1;
         } else {
             stats.failures += 1;
@@ -319,6 +333,7 @@ pub fn ensure_colorable(
     state: &mut RouterState,
     netlist: &Netlist,
     max_attempts: usize,
+    scratch: &mut SearchScratch,
 ) -> bool {
     for _ in 0..max_attempts.max(1) {
         let mut bad_vias: Vec<Via> = Vec::new();
@@ -373,7 +388,7 @@ pub fn ensure_colorable(
             return false; // only pin vias involved: cannot fix
         }
         for v in victims {
-            reroute(state, netlist, v);
+            reroute(state, netlist, v, scratch);
         }
     }
     false
@@ -391,14 +406,7 @@ mod tests {
             nl.push(n);
         }
         let grid = RoutingGrid::three_layer(w, h);
-        let st = RouterState::new(
-            grid,
-            &nl,
-            SadpKind::Sim,
-            CostParams::default(),
-            true,
-            true,
-        );
+        let st = RouterState::new(grid, &nl, SadpKind::Sim, CostParams::default(), true, true);
         (nl, st)
     }
 
@@ -413,7 +421,7 @@ mod tests {
             24,
             24,
         );
-        let failed = initial_routing(&mut st, &nl);
+        let failed = initial_routing(&mut st, &nl, &mut SearchScratch::new());
         assert!(failed.is_empty());
         assert_eq!(st.solution.routed_count(), 3);
         assert!(st.solution.connectivity_errors(&nl).is_empty());
@@ -430,9 +438,10 @@ mod tests {
             ));
         }
         let (nl, mut st) = build(nets, 24, 24);
-        let failed = initial_routing(&mut st, &nl);
+        let mut scratch = SearchScratch::new();
+        let failed = initial_routing(&mut st, &nl, &mut scratch);
         assert!(failed.is_empty());
-        let (clean, _stats) = negotiate_congestion(&mut st, &nl, 10_000);
+        let (clean, _stats) = negotiate_congestion(&mut st, &nl, 10_000, &mut scratch);
         assert!(clean, "congestion not resolved");
         assert!(st.solution.shorts().is_empty());
         assert!(st.solution.connectivity_errors(&nl).is_empty());
@@ -451,10 +460,11 @@ mod tests {
             ));
         }
         let (nl, mut st) = build(nets, 24, 24);
-        let failed = initial_routing(&mut st, &nl);
+        let mut scratch = SearchScratch::new();
+        let failed = initial_routing(&mut st, &nl, &mut scratch);
         assert!(failed.is_empty());
-        let (_c, _s) = negotiate_congestion(&mut st, &nl, 10_000);
-        let (clean, _stats) = tpl_violation_removal(&mut st, &nl, 10_000);
+        let (_c, _s) = negotiate_congestion(&mut st, &nl, 10_000, &mut scratch);
+        let (clean, _stats) = tpl_violation_removal(&mut st, &nl, 10_000, &mut scratch);
         assert!(clean, "FVPs or congestion remain");
         for vl in 0..st.grid.via_layer_count() {
             assert!(st.fvp[vl as usize].fvp_windows().is_empty());
@@ -472,9 +482,10 @@ mod tests {
             24,
             24,
         );
-        initial_routing(&mut st, &nl);
-        negotiate_congestion(&mut st, &nl, 1000);
-        tpl_violation_removal(&mut st, &nl, 1000);
-        assert!(ensure_colorable(&mut st, &nl, 3));
+        let mut scratch = SearchScratch::new();
+        initial_routing(&mut st, &nl, &mut scratch);
+        negotiate_congestion(&mut st, &nl, 1000, &mut scratch);
+        tpl_violation_removal(&mut st, &nl, 1000, &mut scratch);
+        assert!(ensure_colorable(&mut st, &nl, 3, &mut scratch));
     }
 }

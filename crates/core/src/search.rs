@@ -1,0 +1,832 @@
+//! The dense, window-local A* search kernel — the maze-routing hot
+//! path shared by every phase of the flow (initial routing, negotiated
+//! congestion, and the Algorithm-2 via-layer R&R).
+//!
+//! Search states are `(grid point, incoming direction)` so that turn
+//! penalties and forbidden-turn pruning are exact: the cost of
+//! entering a point depends on how the wire leaves the previous one.
+//!
+//! # Why dense
+//!
+//! The original kernel (kept as [`route_connection_reference`] for
+//! differential testing and benchmarking) ran textbook Dijkstra over
+//! `HashMap` dist/parent maps with a fresh `BinaryHeap` per pin
+//! connection, paying a hash + allocate on every expanded state. This
+//! kernel instead indexes flat arrays by
+//! `(layer, x − x0, y − y0, in_dir)` over the active [`Window`] and
+//! reuses them across connections, nets, and R&R iterations through a
+//! caller-owned [`SearchScratch`]:
+//!
+//! * **Epoch-stamped lazy clearing** — each search bumps an epoch
+//!   counter instead of zeroing the arrays; a slot whose stamp is not
+//!   the current epoch reads as "unvisited". Buffers are only ever
+//!   grown, never cleared.
+//! * **A\* ordering** — an admissible, consistent lower bound (see
+//!   [`SearchScratch::heuristic`]) turns Dijkstra into A*, which cuts
+//!   the expanded-state count sharply on the escalating-window
+//!   retries where the window is much larger than the route.
+//! * **Compact parent encoding** — instead of a parent *key* per
+//!   state, only the predecessor's incoming-direction code is stored
+//!   (1 byte): the predecessor point is recovered by stepping
+//!   backwards along the state's own incoming direction.
+//!
+//! The 64-bit `key`/`unkey` state packing survives only as the heap
+//! payload, where it keeps heap nodes at 16 bytes and gives a
+//! deterministic tie-break order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use sadp_decomp::{classify_turn, TurnClass};
+use sadp_grid::{Dir, GridPoint, NetId, TurnKind, Via, WireEdge};
+
+use crate::state::RouterState;
+
+/// A rectangular search window in track coordinates (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Left bound.
+    pub x0: i32,
+    /// Bottom bound.
+    pub y0: i32,
+    /// Right bound.
+    pub x1: i32,
+    /// Top bound.
+    pub y1: i32,
+}
+
+impl Window {
+    /// The window spanning a set of points, inflated by `margin` and
+    /// clamped to the grid. Returns `None` when `points` is empty (an
+    /// empty set has no bounding window).
+    pub fn around<I: IntoIterator<Item = (i32, i32)>>(
+        points: I,
+        margin: i32,
+        width: i32,
+        height: i32,
+    ) -> Option<Window> {
+        let (mut x0, mut y0, mut x1, mut y1) = (i32::MAX, i32::MAX, i32::MIN, i32::MIN);
+        let mut any = false;
+        for (x, y) in points {
+            any = true;
+            x0 = x0.min(x);
+            y0 = y0.min(y);
+            x1 = x1.max(x);
+            y1 = y1.max(y);
+        }
+        if !any {
+            return None;
+        }
+        Some(Window {
+            x0: x0.saturating_sub(margin).max(0),
+            y0: y0.saturating_sub(margin).max(0),
+            x1: x1.saturating_add(margin).min(width - 1),
+            y1: y1.saturating_add(margin).min(height - 1),
+        })
+    }
+
+    /// `true` when `(x, y)` lies inside the window.
+    #[inline]
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Window width in tracks.
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.x1 - self.x0 + 1
+    }
+
+    /// Window height in tracks.
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.y1 - self.y0 + 1
+    }
+}
+
+/// A path found by [`route_connection`].
+#[derive(Debug, Clone, Default)]
+pub struct FoundPath {
+    /// New wire edges.
+    pub edges: Vec<WireEdge>,
+    /// New vias.
+    pub vias: Vec<Via>,
+    /// Total cost in [`crate::costs::SCALE`] units.
+    pub cost: i64,
+}
+
+/// Incoming-direction code for source states (no incoming wire).
+pub(crate) const IN_NONE: u8 = 6;
+
+/// Number of incoming-direction codes per grid point (6 dirs + none).
+const STATES_PER_POINT: usize = 7;
+
+/// Parent sentinel: the state is a search source.
+const PARENT_SOURCE: u8 = 0xFF;
+
+#[inline]
+pub(crate) fn dir_code(d: Dir) -> u8 {
+    match d {
+        Dir::East => 0,
+        Dir::West => 1,
+        Dir::North => 2,
+        Dir::South => 3,
+        Dir::Up => 4,
+        Dir::Down => 5,
+    }
+}
+
+#[inline]
+pub(crate) fn code_dir(c: u8) -> Option<Dir> {
+    Some(match c {
+        0 => Dir::East,
+        1 => Dir::West,
+        2 => Dir::North,
+        3 => Dir::South,
+        4 => Dir::Up,
+        5 => Dir::Down,
+        _ => return None,
+    })
+}
+
+/// Packs a search state into 64 bits: layer in the top byte, then 24
+/// bits each of x and y, then the incoming-direction code.
+///
+/// Coordinates must fit in 24 bits signed (`|x|, |y| < 2^23`); grids
+/// anywhere near that size are far beyond the paper's benchmarks (the
+/// largest, `top`, is 1176 × 1179).
+#[inline]
+pub(crate) fn key(p: GridPoint, in_code: u8) -> u64 {
+    debug_assert!(
+        (-(1 << 23)..1 << 23).contains(&p.x) && (-(1 << 23)..1 << 23).contains(&p.y),
+        "coordinates exceed the 24-bit key budget: {p}"
+    );
+    ((p.layer as u64) << 56)
+        | ((p.x as u32 as u64 & 0xFFFFFF) << 32)
+        | ((p.y as u32 as u64 & 0xFFFFFF) << 8)
+        | in_code as u64
+}
+
+/// Inverse of [`key`], sign-extending the 24-bit coordinates.
+#[inline]
+pub(crate) fn unkey(k: u64) -> (GridPoint, u8) {
+    let layer = (k >> 56) as u8;
+    let x = ((k >> 32) & 0xFFFFFF) as u32;
+    let y = ((k >> 8) & 0xFFFFFF) as u32;
+    let sx = ((x << 8) as i32) >> 8;
+    let sy = ((y << 8) as i32) >> 8;
+    (GridPoint::new(layer, sx, sy), (k & 0xFF) as u8)
+}
+
+/// Reusable search buffers: flat dist/parent/visited arrays over the
+/// active window plus the open-set heap.
+///
+/// One scratch serves any number of searches; buffers grow to the
+/// largest window seen and are lazily "cleared" by bumping an epoch.
+/// Create it once per routing thread and pass it to every
+/// [`route_connection`] / [`crate::dijkstra::route_net`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// Epoch a slot was last written in; `!= epoch` means unvisited.
+    stamp: Vec<u32>,
+    /// Best known cost from the sources (valid when stamped).
+    dist: Vec<i64>,
+    /// Incoming-direction code of the predecessor state, or
+    /// [`PARENT_SOURCE`] (valid when stamped).
+    parent: Vec<u8>,
+    /// Open set: `(f = g + h, packed state key)`.
+    heap: BinaryHeap<Reverse<(i64, u64)>>,
+    /// Current search epoch (0 = no search begun).
+    epoch: u32,
+    /// Active window geometry.
+    x0: i32,
+    y0: i32,
+    w: usize,
+    h: usize,
+    /// Statistics: states expanded (heap pops that were not stale)
+    /// since construction. Drives the kernel benchmarks.
+    pub expanded: u64,
+    /// Statistics: searches begun since construction.
+    pub searches: u64,
+}
+
+impl SearchScratch {
+    /// A scratch with empty buffers (they grow on first use).
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+
+    /// Prepares the buffers for one search over `window` ×
+    /// `layer_count` metal layers: grows the arrays if the window is
+    /// larger than anything seen before and bumps the epoch so every
+    /// slot reads as unvisited without clearing.
+    fn begin(&mut self, window: Window, layer_count: u8) {
+        self.x0 = window.x0;
+        self.y0 = window.y0;
+        self.w = window.width() as usize;
+        self.h = window.height() as usize;
+        let cap = self.w * self.h * layer_count as usize * STATES_PER_POINT;
+        if self.stamp.len() < cap {
+            self.stamp.resize(cap, 0);
+            self.dist.resize(cap, 0);
+            self.parent.resize(cap, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrapped after 2^32 searches: hard-reset stamps
+                // once so stale slots cannot alias the new epoch.
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.heap.clear();
+        self.searches += 1;
+    }
+
+    /// Flat slot of a state inside the active window.
+    #[inline]
+    fn slot(&self, p: GridPoint, in_code: u8) -> usize {
+        debug_assert!(in_code as usize <= IN_NONE as usize);
+        let lx = (p.x - self.x0) as usize;
+        let ly = (p.y - self.y0) as usize;
+        ((p.layer as usize * self.h + ly) * self.w + lx) * STATES_PER_POINT + in_code as usize
+    }
+
+    /// Best known cost of a state, or `i64::MAX` when unvisited this
+    /// epoch.
+    #[inline]
+    fn dist_at(&self, slot: usize) -> i64 {
+        if self.stamp[slot] == self.epoch {
+            self.dist[slot]
+        } else {
+            i64::MAX
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, to: GridPoint, in_code: u8, g: i64, parent_code: u8, f: i64) {
+        let slot = self.slot(to, in_code);
+        if g < self.dist_at(slot) {
+            self.stamp[slot] = self.epoch;
+            self.dist[slot] = g;
+            self.parent[slot] = parent_code;
+            self.heap.push(Reverse((f, key(to, in_code))));
+        }
+    }
+
+    /// The admissible A* lower bound from `p` to `target`:
+    /// Manhattan distance × the minimum preferred-direction step cost
+    /// plus layer distance × the minimum via cost.
+    ///
+    /// Admissibility: every planar step reduces the Manhattan term by
+    /// at most one and costs at least
+    /// [`crate::costs::CostParams::min_wire_step`]; every via reduces
+    /// the layer term by at most one and costs at least
+    /// [`crate::costs::CostParams::min_via_step`]; all vertex / usage
+    /// / history penalties are non-negative. The bound is consistent
+    /// (each step changes `h` by at most its own cost), so the first
+    /// pop of the target is optimal, exactly like Dijkstra.
+    #[inline]
+    fn heuristic(p: GridPoint, target: GridPoint, min_step: i64, min_via: i64) -> i64 {
+        p.manhattan(target) as i64 * min_step + p.via_span(target) as i64 * min_via
+    }
+}
+
+/// Searches a minimum-cost path from the source tree to `target`
+/// using the dense A* kernel.
+///
+/// * `sources` — tree points on routing layers with their existing
+///   arm directions (turn legality at branch points is checked
+///   against them);
+/// * `tree_points` — all tree points; they cannot be traversed (a
+///   path may only *start* at the tree);
+/// * `target` — the pad to reach (on a routing layer);
+/// * `scratch` — reusable buffers (see [`SearchScratch`]).
+///
+/// Source points outside `window` are ignored; the search never
+/// leaves the window. Returns `None` when no path exists inside it.
+///
+/// The returned path has exactly the cost Dijkstra would find; only
+/// tie-breaking among equal-cost paths may differ from
+/// [`route_connection_reference`].
+pub fn route_connection(
+    state: &RouterState,
+    net: NetId,
+    sources: &HashMap<GridPoint, Vec<Dir>>,
+    tree_points: &HashSet<GridPoint>,
+    target: GridPoint,
+    window: Window,
+    scratch: &mut SearchScratch,
+) -> Option<FoundPath> {
+    let params = &state.params;
+    let grid = &state.grid;
+    if !window.contains(target.x, target.y) {
+        return None;
+    }
+    let min_step = params.min_wire_step();
+    let min_via = params.min_via_step();
+
+    scratch.begin(window, grid.layer_count());
+    for &p in sources.keys() {
+        if !window.contains(p.x, p.y) {
+            continue;
+        }
+        let h = SearchScratch::heuristic(p, target, min_step, min_via);
+        scratch.relax(p, IN_NONE, 0, PARENT_SOURCE, h);
+    }
+
+    let mut goal: Option<(GridPoint, u8)> = None;
+    while let Some(Reverse((f, k))) = scratch.heap.pop() {
+        let (p, in_code) = unkey(k);
+        let slot = scratch.slot(p, in_code);
+        let g = scratch.dist_at(slot);
+        if f > g + SearchScratch::heuristic(p, target, min_step, min_via) {
+            continue; // stale heap entry: the state was re-relaxed
+        }
+        scratch.expanded += 1;
+        if p == target {
+            goal = Some((p, in_code));
+            break;
+        }
+        let in_dir = code_dir(in_code);
+
+        // Planar moves.
+        for dir in Dir::PLANAR {
+            if let Some(in_d) = in_dir {
+                if in_d.is_planar() && dir == in_d.opposite() {
+                    continue; // no immediate U-turn
+                }
+            }
+            let mut extra = 0i64;
+            // Turn legality mid-path.
+            if let Some(in_d) = in_dir {
+                if in_d.is_planar() && in_d.axis() != dir.axis() {
+                    let arm = in_d.opposite();
+                    let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
+                    match classify_turn(state.kind, p.x, p.y, turn) {
+                        TurnClass::Forbidden => continue,
+                        TurnClass::NonPreferred => extra += params.turn_penalty(),
+                        TurnClass::Preferred => {}
+                    }
+                }
+            }
+            // Turn legality at branch points (source states).
+            if in_dir.is_none() {
+                if let Some(arms) = sources.get(&p) {
+                    let mut ok = true;
+                    for &arm in arms {
+                        if arm.axis() == dir.axis() {
+                            continue;
+                        }
+                        let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
+                        match classify_turn(state.kind, p.x, p.y, turn) {
+                            TurnClass::Forbidden => {
+                                ok = false;
+                                break;
+                            }
+                            TurnClass::NonPreferred => extra += params.turn_penalty(),
+                            TurnClass::Preferred => {}
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                }
+            }
+            let v = p.stepped(dir);
+            if !grid.in_bounds(v) || !window.contains(v.x, v.y) {
+                continue;
+            }
+            if tree_points.contains(&v) && v != target {
+                continue; // never traverse the existing tree
+            }
+            let preferred = grid.preferred_axis(p.layer) == dir.axis();
+            let step = params.wire_step(preferred) + state.vertex_cost(v, net) + extra;
+            let g2 = g + step;
+            let f2 = g2 + SearchScratch::heuristic(v, target, min_step, min_via);
+            scratch.relax(v, dir_code(dir), g2, in_code, f2);
+        }
+
+        // Via moves between adjacent routing layers.
+        for dir in [Dir::Up, Dir::Down] {
+            let v = p.stepped(dir);
+            if v.layer >= grid.layer_count() || !grid.is_routing_layer(v.layer) {
+                continue;
+            }
+            if let Some(in_d) = in_dir {
+                if !in_d.is_planar() && dir == in_d.opposite() {
+                    continue;
+                }
+            }
+            if tree_points.contains(&v) && v != target {
+                continue;
+            }
+            let vl = p.layer.min(v.layer);
+            let Some(via_cost) = state.via_cost(vl, p.x, p.y) else {
+                continue; // blocked via location
+            };
+            let step = via_cost + state.vertex_cost(v, net);
+            let g2 = g + step;
+            let f2 = g2 + SearchScratch::heuristic(v, target, min_step, min_via);
+            scratch.relax(v, dir_code(dir), g2, in_code, f2);
+        }
+    }
+
+    let (mut p, mut in_code) = goal?;
+    let cost = scratch.dist_at(scratch.slot(p, in_code));
+    // Reconstruct by walking incoming directions back to a source.
+    let mut edges = Vec::new();
+    let mut vias = Vec::new();
+    loop {
+        let slot = scratch.slot(p, in_code);
+        let parent_code = scratch.parent[slot];
+        if parent_code == PARENT_SOURCE {
+            break;
+        }
+        let dir = code_dir(in_code).expect("non-source states have an incoming direction");
+        let prev = p.stepped(dir.opposite());
+        if prev.layer == p.layer {
+            edges.push(WireEdge::between(prev, p).expect("adjacent"));
+        } else {
+            vias.push(Via::new(prev.layer.min(p.layer), p.x, p.y));
+        }
+        p = prev;
+        in_code = parent_code;
+    }
+    Some(FoundPath { edges, vias, cost })
+}
+
+/// The original hash-based Dijkstra kernel, kept verbatim as the
+/// reference for differential tests and the before/after benchmark
+/// (`reference-search` feature; always available to unit tests).
+#[cfg(any(test, feature = "reference-search"))]
+pub fn route_connection_reference(
+    state: &RouterState,
+    net: NetId,
+    sources: &HashMap<GridPoint, Vec<Dir>>,
+    tree_points: &HashSet<GridPoint>,
+    target: GridPoint,
+    window: Window,
+) -> Option<FoundPath> {
+    let params = &state.params;
+    let grid = &state.grid;
+    let mut dist: HashMap<u64, i64> = HashMap::new();
+    let mut parent: HashMap<u64, u64> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(i64, u64)>> = BinaryHeap::new();
+
+    let relax = |dist: &mut HashMap<u64, i64>,
+                 parent: &mut HashMap<u64, u64>,
+                 heap: &mut BinaryHeap<Reverse<(i64, u64)>>,
+                 from: u64,
+                 to: u64,
+                 cost: i64| {
+        let cur = dist.get(&to).copied().unwrap_or(i64::MAX);
+        if cost < cur {
+            dist.insert(to, cost);
+            parent.insert(to, from);
+            heap.push(Reverse((cost, to)));
+        }
+    };
+
+    for &p in sources.keys() {
+        let k = key(p, IN_NONE);
+        dist.insert(k, 0);
+        heap.push(Reverse((0, k)));
+    }
+
+    let mut goal_key: Option<u64> = None;
+    while let Some(Reverse((d, k))) = heap.pop() {
+        if dist.get(&k).copied().unwrap_or(i64::MAX) < d {
+            continue;
+        }
+        let (p, in_code) = unkey(k);
+        if p == target {
+            goal_key = Some(k);
+            break;
+        }
+        let in_dir = code_dir(in_code);
+
+        for dir in Dir::PLANAR {
+            if let Some(in_d) = in_dir {
+                if in_d.is_planar() && dir == in_d.opposite() {
+                    continue;
+                }
+            }
+            let mut extra = 0i64;
+            if let Some(in_d) = in_dir {
+                if in_d.is_planar() && in_d.axis() != dir.axis() {
+                    let arm = in_d.opposite();
+                    let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
+                    match classify_turn(state.kind, p.x, p.y, turn) {
+                        TurnClass::Forbidden => continue,
+                        TurnClass::NonPreferred => extra += params.turn_penalty(),
+                        TurnClass::Preferred => {}
+                    }
+                }
+            }
+            if in_dir.is_none() {
+                if let Some(arms) = sources.get(&p) {
+                    let mut ok = true;
+                    for &arm in arms {
+                        if arm.axis() == dir.axis() {
+                            continue;
+                        }
+                        let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
+                        match classify_turn(state.kind, p.x, p.y, turn) {
+                            TurnClass::Forbidden => {
+                                ok = false;
+                                break;
+                            }
+                            TurnClass::NonPreferred => extra += params.turn_penalty(),
+                            TurnClass::Preferred => {}
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                }
+            }
+            let v = p.stepped(dir);
+            if !grid.in_bounds(v) || !window.contains(v.x, v.y) {
+                continue;
+            }
+            if tree_points.contains(&v) && v != target {
+                continue;
+            }
+            let preferred = grid.preferred_axis(p.layer) == dir.axis();
+            let step = params.wire_step(preferred) + state.vertex_cost(v, net) + extra;
+            relax(
+                &mut dist,
+                &mut parent,
+                &mut heap,
+                k,
+                key(v, dir_code(dir)),
+                d + step,
+            );
+        }
+
+        for dir in [Dir::Up, Dir::Down] {
+            let v = p.stepped(dir);
+            if v.layer >= grid.layer_count() || !grid.is_routing_layer(v.layer) {
+                continue;
+            }
+            if let Some(in_d) = in_dir {
+                if !in_d.is_planar() && dir == in_d.opposite() {
+                    continue;
+                }
+            }
+            if tree_points.contains(&v) && v != target {
+                continue;
+            }
+            let vl = p.layer.min(v.layer);
+            let Some(via_cost) = state.via_cost(vl, p.x, p.y) else {
+                continue;
+            };
+            let step = via_cost + state.vertex_cost(v, net);
+            relax(
+                &mut dist,
+                &mut parent,
+                &mut heap,
+                k,
+                key(v, dir_code(dir)),
+                d + step,
+            );
+        }
+    }
+
+    let goal = goal_key?;
+    let mut edges = Vec::new();
+    let mut vias = Vec::new();
+    let mut cur = goal;
+    let cost = dist[&goal];
+    while let Some(&prev) = parent.get(&cur) {
+        let (cp, _) = unkey(cur);
+        let (pp, _) = unkey(prev);
+        if cp.layer == pp.layer {
+            edges.push(WireEdge::between(pp, cp).expect("adjacent"));
+        } else {
+            vias.push(Via::new(cp.layer.min(pp.layer), cp.x, cp.y));
+        }
+        cur = prev;
+    }
+    Some(FoundPath { edges, vias, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::CostParams;
+    use crate::dijkstra::{route_net, route_net_with};
+    use benchgen::BenchSpec;
+    use sadp_grid::{Net, Netlist, Pin, RoutingGrid, SadpKind};
+
+    fn state_with(nets: Vec<Net>) -> (Netlist, RouterState) {
+        let mut nl = Netlist::new();
+        for n in nets {
+            nl.push(n);
+        }
+        let grid = RoutingGrid::three_layer(24, 24);
+        let st = RouterState::new(grid, &nl, SadpKind::Sim, CostParams::default(), true, true);
+        (nl, st)
+    }
+
+    #[test]
+    fn window_around_empty_is_none() {
+        assert_eq!(Window::around(std::iter::empty(), 8, 24, 24), None);
+    }
+
+    #[test]
+    fn window_clamps_to_grid() {
+        let w = Window::around([(0, 0), (5, 5)], 10, 24, 24).unwrap();
+        assert_eq!(
+            w,
+            Window {
+                x0: 0,
+                y0: 0,
+                x1: 15,
+                y1: 15
+            }
+        );
+        assert!(w.contains(0, 0));
+        assert!(!w.contains(16, 0));
+        assert_eq!(w.width(), 16);
+        assert_eq!(w.height(), 16);
+    }
+
+    #[test]
+    fn window_margin_does_not_overflow() {
+        let w = Window::around([(3, 3)], i32::MAX / 4, 24, 24).unwrap();
+        assert_eq!(
+            w,
+            Window {
+                x0: 0,
+                y0: 0,
+                x1: 23,
+                y1: 23
+            }
+        );
+    }
+
+    #[test]
+    fn key_round_trips() {
+        let p = GridPoint::new(2, 1175, 1178);
+        for c in 0..7u8 {
+            let (q, cc) = unkey(key(p, c));
+            assert_eq!((q, cc), (p, c));
+        }
+    }
+
+    #[test]
+    fn key_round_trips_at_24_bit_edge() {
+        // The largest representable coordinate.
+        let p = GridPoint::new(1, (1 << 23) - 1, (1 << 23) - 1);
+        let (q, c) = unkey(key(p, IN_NONE));
+        assert_eq!((q, c), (p, IN_NONE));
+        // Negative coordinates sign-extend correctly.
+        let n = GridPoint::new(0, -5, -(1 << 23));
+        let (qn, _) = unkey(key(n, 0));
+        assert_eq!(qn, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit key budget")]
+    fn key_rejects_oversized_coordinates() {
+        // 2^23 itself no longer fits 24-bit signed; debug builds catch
+        // it instead of silently aliasing to -2^23.
+        let _ = key(GridPoint::new(0, 1 << 23, 0), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_searches_is_clean() {
+        // Two different connections through one scratch: the second
+        // search must not see the first search's state.
+        let (nl, st) = state_with(vec![
+            Net::new("a", vec![Pin::new(4, 6), Pin::new(12, 6)]),
+            Net::new("b", vec![Pin::new(2, 2), Pin::new(20, 20)]),
+        ]);
+        let mut scratch = SearchScratch::new();
+        let ra = route_net(&st, NetId(0), &nl[NetId(0)], &mut scratch).expect("routable");
+        let rb = route_net(&st, NetId(1), &nl[NetId(1)], &mut scratch).expect("routable");
+        let mut fresh = SearchScratch::new();
+        let ra2 = route_net(&st, NetId(0), &nl[NetId(0)], &mut fresh).expect("routable");
+        let rb2 = route_net(&st, NetId(1), &nl[NetId(1)], &mut fresh).expect("routable");
+        assert_eq!(ra, ra2);
+        assert_eq!(rb, rb2);
+        assert!(scratch.searches >= 2);
+        assert!(scratch.expanded > 0);
+    }
+
+    #[test]
+    fn astar_expands_fewer_states_than_reference_visits() {
+        // On a plain two-pin connection in a generous window, the
+        // Manhattan lower bound must focus the search: expanded states
+        // stay well below the full state space.
+        let (nl, st) = state_with(vec![Net::new("a", vec![Pin::new(2, 12), Pin::new(21, 12)])]);
+        let mut scratch = SearchScratch::new();
+        route_net(&st, NetId(0), &nl[NetId(0)], &mut scratch).expect("routable");
+        let state_space = 24 * 24 * 3 * 7;
+        assert!(
+            scratch.expanded < state_space / 4,
+            "A* expanded {} of {} states",
+            scratch.expanded,
+            state_space
+        );
+    }
+
+    /// The acceptance-criteria differential test: on randomized
+    /// benchgen instances, the dense A* kernel must return paths with
+    /// exactly the cost the hash-based Dijkstra reference finds, for
+    /// every connection of every net, including under installed-route
+    /// penalties and history costs.
+    #[test]
+    fn dense_kernel_matches_reference_cost_on_random_instances() {
+        let mut instances = 0usize;
+        let mut connections = 0usize;
+        for seed in 0..10u64 {
+            for spec in [
+                BenchSpec {
+                    name: "diff-a",
+                    nets: 14,
+                    width: 28,
+                    height: 28,
+                },
+                BenchSpec {
+                    name: "diff-b",
+                    nets: 20,
+                    width: 36,
+                    height: 30,
+                },
+            ] {
+                instances += 1;
+                let nl = spec.generate(seed);
+                let mut st = RouterState::new(
+                    spec.grid(),
+                    &nl,
+                    if seed % 2 == 0 {
+                        SadpKind::Sim
+                    } else {
+                        SadpKind::Sid
+                    },
+                    CostParams::default(),
+                    true,
+                    true,
+                );
+                // Sprinkle history so the cost landscape is nontrivial.
+                for k in 0..spec.width.min(spec.height) {
+                    st.bump_history(GridPoint::new(1 + (k % 2) as u8, k, (k * 7) % spec.height));
+                }
+                let mut scratch = SearchScratch::new();
+                let ids: Vec<NetId> = nl.iter().map(|(id, _)| id).collect();
+                for id in ids {
+                    let routed = route_net_with(
+                        &st,
+                        id,
+                        &nl[id],
+                        |st, id, sources, tree, target, window| {
+                            let dense = route_connection(
+                                st,
+                                id,
+                                sources,
+                                tree,
+                                target,
+                                window,
+                                &mut scratch,
+                            );
+                            let reference =
+                                route_connection_reference(st, id, sources, tree, target, window);
+                            match (&dense, &reference) {
+                                (Some(a), Some(b)) => {
+                                    assert_eq!(
+                                        a.cost, b.cost,
+                                        "kernel cost mismatch routing {id:?} to {target}"
+                                    );
+                                    connections += 1;
+                                }
+                                (None, None) => {}
+                                _ => panic!(
+                                    "kernel reachability mismatch routing {id:?} to {target}: \
+                                     dense={dense:?} reference={reference:?}"
+                                ),
+                            }
+                            dense
+                        },
+                    );
+                    // Install found routes so later nets search a
+                    // penalized, partially occupied graph.
+                    if let Some(r) = routed {
+                        st.install_route(id, r);
+                    }
+                }
+            }
+        }
+        assert!(
+            instances >= 20,
+            "need >= 20 randomized instances, got {instances}"
+        );
+        assert!(
+            connections > 100,
+            "differential test exercised too few connections"
+        );
+    }
+}

@@ -5,8 +5,10 @@
 use std::collections::HashSet;
 
 use dvi::{feasible_candidate, Candidate, LayoutView};
-use sadp_grid::{DenseGrid, Dir, GridPoint, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid,
-                RoutingSolution, SadpKind, Via};
+use sadp_grid::{
+    DenseGrid, Dir, GridPoint, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution,
+    SadpKind, Via,
+};
 use tpl_decomp::{conflict_offsets, FvpIndex};
 
 use crate::costs::CostParams;
@@ -405,20 +407,15 @@ mod tests {
         nl.push(Net::new("a", vec![Pin::new(4, 4), Pin::new(8, 4)]));
         nl.push(Net::new("b", vec![Pin::new(4, 8), Pin::new(8, 8)]));
         let grid = RoutingGrid::three_layer(16, 16);
-        let state = RouterState::new(
-            grid,
-            &nl,
-            SadpKind::Sim,
-            CostParams::default(),
-            true,
-            true,
-        );
+        let state = RouterState::new(grid, &nl, SadpKind::Sim, CostParams::default(), true, true);
         (nl, state)
     }
 
     fn route_a() -> RoutedNet {
         RoutedNet::new(
-            (4..8).map(|x| WireEdge::new(1, x, 4, Axis::Horizontal)).collect(),
+            (4..8)
+                .map(|x| WireEdge::new(1, x, 4, Axis::Horizontal))
+                .collect(),
             vec![Via::new(0, 4, 4), Via::new(0, 8, 4)],
         )
     }
@@ -498,7 +495,9 @@ mod tests {
         state.install_route(
             NetId(1),
             RoutedNet::new(
-                (4..8).map(|x| WireEdge::new(1, x, 4, Axis::Horizontal)).collect(),
+                (4..8)
+                    .map(|x| WireEdge::new(1, x, 4, Axis::Horizontal))
+                    .collect(),
                 vec![Via::new(0, 4, 8), Via::new(0, 8, 8)],
             ),
         );

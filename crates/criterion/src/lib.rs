@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this local
+//! path crate implements the subset of criterion the workspace's
+//! benches use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Measurement is plain wall-clock sampling: each sample times
+//! a batch of iterations sized from a calibration pass, and the
+//! reported triple is `[min median max]` over samples, like
+//! criterion's default output shape.
+//!
+//! Command-line control (after `--` under `cargo bench`):
+//!
+//! * a positional substring filters benchmark ids;
+//! * `--sample-size N` overrides the per-bench sample count (CI smoke
+//!   runs use `--sample-size 1`);
+//! * criterion flags that don't apply here (`--bench`, `--noplot`,
+//!   `--quick`, ...) are accepted and ignored.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function preventing the optimizer from deleting
+/// a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target wall-clock time of one measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (filter, `--sample-size`).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--sample-size" => {
+                    if let Some(v) = args.get(i + 1) {
+                        self.sample_size = v.parse().expect("--sample-size takes an integer");
+                        i += 1;
+                    }
+                }
+                // Flags the real criterion accepts; no-ops here.
+                "--bench" | "--noplot" | "--quick" | "--test" | "--verbose" | "--quiet"
+                | "--discard-baseline" | "--exact" => {}
+                // Value-carrying criterion flags; skip the value too.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--profile-time" | "--color" => {
+                    i += 1;
+                }
+                other => {
+                    if !other.starts_with('-') {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+        self
+    }
+
+    /// Runs one benchmark (unless filtered out) and prints its timing
+    /// summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Times the routine handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: calibrates a batch size, then records
+    /// `sample_size` samples of mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: run until ~TARGET_SAMPLE to size the batch.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE / 4 || iters >= 1 << 30 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+/// Formats nanoseconds with criterion-style unit scaling.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut hits = 0usize;
+        c.bench_function("shim/trivial", |b| {
+            hits += 1;
+            b.iter(|| black_box(3u64) * black_box(14))
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: Some("match-me".into()),
+        };
+        let mut hits = 0usize;
+        c.bench_function("other/bench", |b| {
+            hits += 1;
+            b.iter(|| 1)
+        });
+        c.bench_function("yes/match-me", |b| {
+            hits += 10;
+            b.iter(|| 1)
+        });
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("µs"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with('s'));
+    }
+}

@@ -21,7 +21,9 @@
 use std::collections::HashMap;
 
 use sadp_decomp::stub_turn_ok;
-use sadp_grid::{Dir, GridPoint, NetId, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via, WireEdge};
+use sadp_grid::{
+    Dir, GridPoint, NetId, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via, WireEdge,
+};
 
 /// An incremental view of layout occupancy: which net owns each metal
 /// grid point and each via position.
@@ -198,9 +200,7 @@ impl DviProblem {
                     candidates: Vec::new(),
                 };
                 for dir in Dir::PLANAR {
-                    if let Some(cand) =
-                        feasible_candidate(kind, &view, route, net, via, dir)
-                    {
+                    if let Some(cand) = feasible_candidate(kind, &view, route, net, via, dir) {
                         pv.candidates.push(candidates.len() as u32);
                         candidates.push(Candidate {
                             via_idx: vias.len() as u32,
@@ -375,10 +375,7 @@ fn find_conflicts(vias: &[ProblemVia], candidates: &[Candidate]) -> Vec<(u32, u3
             if ca.via_idx == cb.via_idx {
                 continue;
             }
-            let (na, nb) = (
-                vias[ca.via_idx as usize].net,
-                vias[cb.via_idx as usize].net,
-            );
+            let (na, nb) = (vias[ca.via_idx as usize].net, vias[cb.via_idx as usize].net);
             if na != nb {
                 set.insert((a.min(b), a.max(b)));
             }
@@ -569,9 +566,7 @@ mod tests {
             let (a, b) = (shared[0], shared[1]);
             let ia = p.candidates().iter().position(|c| c == a).unwrap() as u32;
             let ib = p.candidates().iter().position(|c| c == b).unwrap() as u32;
-            assert!(p
-                .conflicts()
-                .contains(&(ia.min(ib), ia.max(ib))));
+            assert!(p.conflicts().contains(&(ia.min(ib), ia.max(ib))));
         }
     }
 

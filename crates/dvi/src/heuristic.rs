@@ -163,7 +163,10 @@ impl<'p> HeurState<'p> {
                 killed += 1;
             }
         }
-        self.fvp.get_mut(&layer).expect("layer index").remove_via(cx, cy);
+        self.fvp
+            .get_mut(&layer)
+            .expect("layer index")
+            .remove_via(cx, cy);
         killed
     }
 
@@ -423,8 +426,10 @@ fn one_swap_pass(
 mod tests {
     use super::*;
     use crate::ilp::{solve_ilp, IlpOptions};
-    use sadp_grid::{Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution,
-                    SadpKind, Via, WireEdge};
+    use sadp_grid::{
+        Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via,
+        WireEdge,
+    };
 
     fn chain_solution(n: i32, spacing: i32) -> RoutingSolution {
         let mut nl = Netlist::new();
@@ -437,7 +442,9 @@ mod tests {
         let mut sol = RoutingSolution::new(RoutingGrid::three_layer(20, 64), &nl);
         for k in 0..n {
             let y = 4 + k * spacing;
-            let edges = (4..9).map(|x| WireEdge::new(1, x, y, Axis::Horizontal)).collect();
+            let edges = (4..9)
+                .map(|x| WireEdge::new(1, x, y, Axis::Horizontal))
+                .collect();
             sol.set_route(
                 NetId(k as u32),
                 RoutedNet::new(edges, vec![Via::new(0, 4, y), Via::new(0, 9, y)]),

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use bilp::{Model, Sense, SolveOptions, Solution, VarId};
+use bilp::{Model, Sense, Solution, SolveOptions, VarId};
 use tpl_decomp::vias_conflict;
 
 use crate::candidates::DviProblem;
@@ -121,9 +121,7 @@ pub fn build_ilp(problem: &DviProblem) -> (Model, IlpMapping) {
     // colors.
     for (i, pv) in problem.vias().iter().enumerate() {
         for (dx, dy) in tpl_decomp::conflict_offsets() {
-            if let Some(&j) =
-                via_at.get(&(pv.via.below, pv.via.x + dx, pv.via.y + dy))
-            {
+            if let Some(&j) = via_at.get(&(pv.via.below, pv.via.x + dx, pv.via.y + dy)) {
                 if (j as usize) > i {
                     for color in 0..3 {
                         m.add_constraint(
@@ -145,9 +143,7 @@ pub fn build_ilp(problem: &DviProblem) -> (Model, IlpMapping) {
                 if !vias_conflict(dx, dy) {
                     continue;
                 }
-                if let Some(&i) =
-                    via_at.get(&(cand.via_layer, cand.loc.0 + dx, cand.loc.1 + dy))
-                {
+                if let Some(&i) = via_at.get(&(cand.via_layer, cand.loc.0 + dx, cand.loc.1 + dy)) {
                     for color in 0..3 {
                         // oV_i + oD + B'(D-1) <= 1
                         m.add_constraint(
@@ -181,11 +177,10 @@ pub fn build_ilp(problem: &DviProblem) -> (Model, IlpMapping) {
                 if !vias_conflict(dx, dy) {
                     continue;
                 }
-                if let Some(list) =
-                    cands_at.get(&(ca.via_layer, ca.loc.0 + dx, ca.loc.1 + dy))
-                {
+                if let Some(list) = cands_at.get(&(ca.via_layer, ca.loc.0 + dx, ca.loc.1 + dy)) {
                     for &b in list {
-                        if (b as usize) <= a || ca.via_idx == problem.candidates()[b as usize].via_idx
+                        if (b as usize) <= a
+                            || ca.via_idx == problem.candidates()[b as usize].via_idx
                         {
                             continue;
                         }
@@ -238,11 +233,7 @@ pub fn solve_ilp(problem: &DviProblem, options: &IlpOptions) -> (DviOutcome, Sol
 }
 
 /// Builds a full feasible assignment from a heuristic outcome.
-fn warm_start_vector(
-    mapping: &IlpMapping,
-    model: &Model,
-    heur: &DviOutcome,
-) -> Vec<bool> {
+fn warm_start_vector(mapping: &IlpMapping, model: &Model, heur: &DviOutcome) -> Vec<bool> {
     let mut values = vec![false; model.var_count()];
     for (i, color) in heur.via_colors.iter().enumerate() {
         let slot = match color {
@@ -270,9 +261,7 @@ fn decode(
     for (c, cv) in mapping.cand_vars.iter().enumerate() {
         if sol.values[cv[0].index()] {
             inserted.push(c as u32);
-            let color = (0..3)
-                .find(|&k| sol.values[cv[k + 1].index()])
-                .unwrap_or(0) as u8;
+            let color = (0..3).find(|&k| sol.values[cv[k + 1].index()]).unwrap_or(0) as u8;
             inserted_colors.push(color);
         }
     }
@@ -300,8 +289,10 @@ fn decode(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sadp_grid::{Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution,
-                    SadpKind, Via, WireEdge};
+    use sadp_grid::{
+        Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via,
+        WireEdge,
+    };
 
     fn straight_net_solution(n_vias: i32, spacing: i32) -> RoutingSolution {
         // A chain of nets, each a horizontal M2 wire with two pin
@@ -316,7 +307,9 @@ mod tests {
         let mut sol = RoutingSolution::new(RoutingGrid::three_layer(20, 40), &nl);
         for k in 0..n_vias {
             let y = 4 + k * spacing;
-            let edges = (4..9).map(|x| WireEdge::new(1, x, y, Axis::Horizontal)).collect();
+            let edges = (4..9)
+                .map(|x| WireEdge::new(1, x, y, Axis::Horizontal))
+                .collect();
             sol.set_route(
                 NetId(k as u32),
                 RoutedNet::new(edges, vec![Via::new(0, 4, y), Via::new(0, 9, y)]),

@@ -76,16 +76,17 @@ pub struct LazyStats {
 }
 
 /// Solves TPL-aware DVI by the lazy-cut decomposition.
-pub fn solve_ilp_lazy(
-    problem: &DviProblem,
-    options: &LazyIlpOptions,
-) -> (DviOutcome, LazyStats) {
+pub fn solve_ilp_lazy(problem: &DviProblem, options: &LazyIlpOptions) -> (DviOutcome, LazyStats) {
     let start = Instant::now();
     let deadline = options.time_limit.map(|d| start + d);
 
     // Base model: D variables, C1, C2.
     let mut model = Model::maximize();
-    let d_vars: Vec<VarId> = problem.candidates().iter().map(|_| model.add_var()).collect();
+    let d_vars: Vec<VarId> = problem
+        .candidates()
+        .iter()
+        .map(|_| model.add_var())
+        .collect();
     for &v in &d_vars {
         model.set_objective_coeff(v, 1);
     }
@@ -230,16 +231,14 @@ fn find_violations(
         if greedy.is_complete() {
             continue;
         }
-        let uncol: std::collections::HashSet<u32> =
-            greedy.uncolorable.iter().copied().collect();
+        let uncol: std::collections::HashSet<u32> = greedy.uncolorable.iter().copied().collect();
         for comp in graph.components() {
             if !comp.iter().any(|v| uncol.contains(v)) {
                 continue;
             }
             if comp.len() <= EXACT_COLORING_LIMIT {
-                let sub = DecompGraph::from_positions(
-                    comp.iter().map(|&v| graph.position(v as usize)),
-                );
+                let sub =
+                    DecompGraph::from_positions(comp.iter().map(|&v| graph.position(v as usize)));
                 if exact_color(&sub, 3).is_some() {
                     continue; // greedy artifact, actually colorable
                 }
@@ -342,8 +341,10 @@ mod tests {
     use super::*;
     use crate::candidates::DviProblem;
     use crate::ilp::{solve_ilp, IlpOptions};
-    use sadp_grid::{Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution,
-                    SadpKind, Via, WireEdge};
+    use sadp_grid::{
+        Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via,
+        WireEdge,
+    };
 
     fn chain_solution(n: i32, spacing: i32) -> RoutingSolution {
         let mut nl = Netlist::new();
@@ -356,7 +357,9 @@ mod tests {
         let mut sol = RoutingSolution::new(RoutingGrid::three_layer(20, 64), &nl);
         for k in 0..n {
             let y = 4 + k * spacing;
-            let edges = (4..9).map(|x| WireEdge::new(1, x, y, Axis::Horizontal)).collect();
+            let edges = (4..9)
+                .map(|x| WireEdge::new(1, x, y, Axis::Horizontal))
+                .collect();
             sol.set_route(
                 NetId(k as u32),
                 RoutedNet::new(edges, vec![Via::new(0, 4, y), Via::new(0, 9, y)]),

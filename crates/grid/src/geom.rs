@@ -188,6 +188,18 @@ impl GridPoint {
         self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
     }
 
+    /// Number of layer transitions (vias) separating `self` from
+    /// `other` — the layer-distance counterpart of [`manhattan`].
+    /// Any path between the two points crosses at least this many
+    /// vias, which makes it the layer term of admissible search
+    /// lower bounds.
+    ///
+    /// [`manhattan`]: GridPoint::manhattan
+    #[inline]
+    pub fn via_span(self, other: GridPoint) -> u32 {
+        self.layer.abs_diff(other.layer) as u32
+    }
+
     /// The parity class of the point (used by the SADP color
     /// pre-assignment).
     #[inline]
@@ -221,10 +233,22 @@ pub struct Parity {
 impl Parity {
     /// All four parity classes.
     pub const ALL: [Parity; 4] = [
-        Parity { x_odd: false, y_odd: false },
-        Parity { x_odd: true, y_odd: false },
-        Parity { x_odd: false, y_odd: true },
-        Parity { x_odd: true, y_odd: true },
+        Parity {
+            x_odd: false,
+            y_odd: false,
+        },
+        Parity {
+            x_odd: true,
+            y_odd: false,
+        },
+        Parity {
+            x_odd: false,
+            y_odd: true,
+        },
+        Parity {
+            x_odd: true,
+            y_odd: true,
+        },
     ];
 
     /// Compact index in `0..4` (`x_odd` is bit 0, `y_odd` bit 1).
@@ -445,6 +469,15 @@ mod tests {
         let b = GridPoint::new(2, 3, -4);
         assert_eq!(a.manhattan(b), 7);
         assert_eq!(b.manhattan(a), 7);
+    }
+
+    #[test]
+    fn via_span_counts_layer_transitions() {
+        let a = GridPoint::new(0, 5, 5);
+        let b = GridPoint::new(2, 9, 1);
+        assert_eq!(a.via_span(b), 2);
+        assert_eq!(b.via_span(a), 2);
+        assert_eq!(a.via_span(a), 0);
     }
 
     #[test]

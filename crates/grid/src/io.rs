@@ -52,7 +52,11 @@ fn err(line: usize, message: impl Into<String>) -> ParseLayoutError {
     }
 }
 
-fn parse_num<T: FromStr>(line: usize, tok: Option<&str>, what: &str) -> Result<T, ParseLayoutError> {
+fn parse_num<T: FromStr>(
+    line: usize,
+    tok: Option<&str>,
+    what: &str,
+) -> Result<T, ParseLayoutError> {
     tok.ok_or_else(|| err(line, format!("missing {what}")))?
         .parse()
         .map_err(|_| err(line, format!("invalid {what}")))
@@ -229,12 +233,17 @@ mod tests {
         let grid = RoutingGrid::three_layer(16, 16);
         let mut nl = Netlist::new();
         nl.push(Net::new("a", vec![Pin::new(2, 2), Pin::new(6, 2)]));
-        nl.push(Net::new("b", vec![Pin::new(2, 6), Pin::new(6, 6), Pin::new(4, 10)]));
+        nl.push(Net::new(
+            "b",
+            vec![Pin::new(2, 6), Pin::new(6, 6), Pin::new(4, 10)],
+        ));
         let mut sol = RoutingSolution::new(grid.clone(), &nl);
         sol.set_route(
             NetId(0),
             RoutedNet::new(
-                (2..6).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect(),
+                (2..6)
+                    .map(|x| WireEdge::new(1, x, 2, Axis::Horizontal))
+                    .collect(),
                 vec![Via::new(0, 2, 2), Via::new(0, 6, 2)],
             ),
         );

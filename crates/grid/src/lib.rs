@@ -25,14 +25,14 @@
 
 pub mod dense;
 pub mod geom;
-pub mod io;
 pub mod grid;
+pub mod io;
 pub mod netlist;
 pub mod solution;
 
 pub use dense::DenseGrid;
-pub use io::{read_netlist, read_solution, write_netlist, write_solution, ParseLayoutError};
 pub use geom::{Axis, Dir, GridPoint, Parity, Rect, TurnKind};
 pub use grid::{LayerRole, RoutingGrid, SadpKind};
+pub use io::{read_netlist, read_solution, write_netlist, write_solution, ParseLayoutError};
 pub use netlist::{Net, NetId, Netlist, Pin};
 pub use solution::{RoutedNet, RoutingSolution, SolutionStats, Via, WireEdge};

@@ -191,10 +191,7 @@ mod tests {
 
     #[test]
     fn hpwl_is_bounding_box_half_perimeter() {
-        let n = Net::new(
-            "a",
-            vec![Pin::new(0, 0), Pin::new(4, 1), Pin::new(2, 5)],
-        );
+        let n = Net::new("a", vec![Pin::new(0, 0), Pin::new(4, 1), Pin::new(2, 5)]);
         assert_eq!(n.hpwl(), 4 + 5);
     }
 

@@ -330,12 +330,7 @@ impl RoutingSolution {
 }
 
 /// Union-find connectivity check for one routed net.
-fn net_is_connected(
-    grid: &RoutingGrid,
-    netlist: &Netlist,
-    id: NetId,
-    route: &RoutedNet,
-) -> bool {
+fn net_is_connected(grid: &RoutingGrid, netlist: &Netlist, id: NetId, route: &RoutedNet) -> bool {
     let net = match netlist.get(id) {
         Some(n) => n,
         None => return false,

@@ -1,8 +1,10 @@
 //! Round-trip property tests for the plain-text interchange formats.
 
 use proptest::prelude::*;
-use sadp_grid::{read_netlist, read_solution, write_netlist, write_solution, Axis, Net, NetId,
-                Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, Via, WireEdge};
+use sadp_grid::{
+    read_netlist, read_solution, write_netlist, write_solution, Axis, Net, NetId, Netlist, Pin,
+    RoutedNet, RoutingGrid, RoutingSolution, Via, WireEdge,
+};
 
 fn arb_netlist() -> impl Strategy<Value = Netlist> {
     proptest::collection::vec(((0i32..30, 0i32..30), (0i32..30, 0i32..30)), 1..10).prop_map(
@@ -12,7 +14,10 @@ fn arb_netlist() -> impl Strategy<Value = Netlist> {
                 if a == b {
                     continue;
                 }
-                nl.push(Net::new(format!("n{i}"), vec![Pin::new(a.0, a.1), Pin::new(b.0, b.1)]));
+                nl.push(Net::new(
+                    format!("n{i}"),
+                    vec![Pin::new(a.0, a.1), Pin::new(b.0, b.1)],
+                ));
             }
             if nl.is_empty() {
                 nl.push(Net::new("n", vec![Pin::new(0, 0), Pin::new(1, 1)]));

@@ -30,4 +30,4 @@ pub mod model;
 pub mod solve;
 
 pub use model::{Model, Sense, VarId};
-pub use solve::{SolveOptions, SolveStatus, Solution};
+pub use solve::{Solution, SolveOptions, SolveStatus};

@@ -130,10 +130,7 @@ impl Model {
             std::collections::HashMap::new();
         for (i, (terms, _)) in rows.iter().enumerate() {
             if let Some(&(v, _)) = terms.first() {
-                comp_rows
-                    .entry(find(&mut parent, v))
-                    .or_default()
-                    .push(i);
+                comp_rows.entry(find(&mut parent, v)).or_default().push(i);
             } else {
                 // Empty row: trivially feasible iff 0 <= rhs.
                 if rows[i].1 < 0 {
@@ -733,7 +730,9 @@ mod tests {
     #[test]
     fn warm_start_is_used() {
         let m = knapsack(&[1; 10], &[1; 10], 5);
-        let ws = vec![true, true, true, true, true, false, false, false, false, false];
+        let ws = vec![
+            true, true, true, true, true, false, false, false, false, false,
+        ];
         let sol = m.solve(&SolveOptions {
             warm_start: Some(ws),
             ..SolveOptions::default()
@@ -791,7 +790,10 @@ mod tests {
             match brute_force(&m) {
                 Some(best) => {
                     assert!(sol.is_optimal(), "trial {trial}: expected optimal");
-                    assert!(m.is_feasible(&sol.values), "trial {trial}: infeasible answer");
+                    assert!(
+                        m.is_feasible(&sol.values),
+                        "trial {trial}: infeasible answer"
+                    );
                     assert_eq!(sol.objective, best, "trial {trial}: wrong optimum");
                     assert_eq!(sol.objective, m.objective_value(&sol.values));
                 }

@@ -64,12 +64,8 @@ fn forcing_uncolorable_is_dominated() {
     }
     for i in 0..n {
         for j in (i + 1)..n {
-            for k in 0..3 {
-                m.add_constraint(
-                    [(color_vars[i][k], 1), (color_vars[j][k], 1)],
-                    Sense::Le,
-                    1,
-                );
+            for (&ci, &cj) in color_vars[i].iter().zip(&color_vars[j]).take(3) {
+                m.add_constraint([(ci, 1), (cj, 1)], Sense::Le, 1);
             }
         }
     }

@@ -49,7 +49,11 @@ fn build(m: &RandomModel) -> Model {
             1 => Sense::Ge,
             _ => Sense::Eq,
         };
-        model.add_constraint(terms.iter().map(|&(v, c)| (VarId(v as u32), c)), sense, *rhs);
+        model.add_constraint(
+            terms.iter().map(|&(v, c)| (VarId(v as u32), c)),
+            sense,
+            *rhs,
+        );
     }
     model
 }

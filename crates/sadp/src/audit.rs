@@ -95,7 +95,12 @@ mod tests {
                     WireEdge::new(2, 4, 2, Axis::Vertical),
                     WireEdge::new(2, 4, 3, Axis::Vertical),
                 ],
-                vec![Via::new(0, 2, 2), Via::new(1, 4, 2), Via::new(0, 4, 4), Via::new(1, 4, 4)],
+                vec![
+                    Via::new(0, 2, 2),
+                    Via::new(1, 4, 2),
+                    Via::new(0, 4, 4),
+                    Via::new(1, 4, 4),
+                ],
             ),
         );
         let r = audit_solution(SadpKind::Sim, &sol);

@@ -68,8 +68,14 @@ fn nearby_pairs(shapes: &[Rect], slack: i32) -> Vec<(usize, usize)> {
     let mut buckets: std::collections::HashMap<(i32, i32), Vec<usize>> =
         std::collections::HashMap::new();
     for (i, s) in shapes.iter().enumerate() {
-        let (bx0, bx1) = ((s.x0 - slack).div_euclid(BIN), (s.x1 + slack).div_euclid(BIN));
-        let (by0, by1) = ((s.y0 - slack).div_euclid(BIN), (s.y1 + slack).div_euclid(BIN));
+        let (bx0, bx1) = (
+            (s.x0 - slack).div_euclid(BIN),
+            (s.x1 + slack).div_euclid(BIN),
+        );
+        let (by0, by1) = (
+            (s.y0 - slack).div_euclid(BIN),
+            (s.y1 + slack).div_euclid(BIN),
+        );
         for bx in bx0..=bx1 {
             for by in by0..=by1 {
                 buckets.entry((bx, by)).or_default().push(i);
@@ -212,30 +218,37 @@ mod tests {
             // Straight wires.
             (
                 SadpKind::Sim,
-                (0..4).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect(),
+                (0..4)
+                    .map(|x| WireEdge::new(1, x, 2, Axis::Horizontal))
+                    .collect(),
             ),
             (
                 SadpKind::Sid,
-                (0..4).map(|x| WireEdge::new(1, x, 3, Axis::Horizontal)).collect(),
+                (0..4)
+                    .map(|x| WireEdge::new(1, x, 3, Axis::Horizontal))
+                    .collect(),
             ),
             // Preferred turn (SIM, corner 2,2).
             (SadpKind::Sim, {
-                let mut e: Vec<WireEdge> =
-                    (2..5).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect();
+                let mut e: Vec<WireEdge> = (2..5)
+                    .map(|x| WireEdge::new(1, x, 2, Axis::Horizontal))
+                    .collect();
                 e.extend((2..5).map(|y| WireEdge::new(1, 2, y, Axis::Vertical)));
                 e
             }),
             // Non-preferred turn (SIM, corner 3,3).
             (SadpKind::Sim, {
-                let mut e: Vec<WireEdge> =
-                    (3..6).map(|x| WireEdge::new(1, x, 3, Axis::Horizontal)).collect();
+                let mut e: Vec<WireEdge> = (3..6)
+                    .map(|x| WireEdge::new(1, x, 3, Axis::Horizontal))
+                    .collect();
                 e.extend((3..6).map(|y| WireEdge::new(1, 3, y, Axis::Vertical)));
                 e
             }),
             // Preferred turn (SID, corner 2,2 — both black tracks).
             (SadpKind::Sid, {
-                let mut e: Vec<WireEdge> =
-                    (2..5).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect();
+                let mut e: Vec<WireEdge> = (2..5)
+                    .map(|x| WireEdge::new(1, x, 2, Axis::Horizontal))
+                    .collect();
                 e.extend((2..5).map(|y| WireEdge::new(1, 2, y, Axis::Vertical)));
                 e
             }),

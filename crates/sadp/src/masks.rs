@@ -398,7 +398,10 @@ mod tests {
         let mut e = h_edges(1, 2, 2, 3);
         e.extend(v_edges(1, 2, 0, 2)); // south arm: y 0..2
         let err = decompose_layer(SadpKind::Sim, &e).unwrap_err();
-        assert!(matches!(err, DecomposeError::ForbiddenTurn { x: 2, y: 2, .. }));
+        assert!(matches!(
+            err,
+            DecomposeError::ForbiddenTurn { x: 2, y: 2, .. }
+        ));
     }
 
     #[test]
@@ -417,7 +420,10 @@ mod tests {
         let mut e = h_edges(1, 2, 1, 2);
         e.extend(v_edges(1, 1, 2, 2));
         let err = decompose_layer(SadpKind::Sid, &e).unwrap_err();
-        assert!(matches!(err, DecomposeError::ForbiddenTurn { x: 1, y: 2, .. }));
+        assert!(matches!(
+            err,
+            DecomposeError::ForbiddenTurn { x: 1, y: 2, .. }
+        ));
     }
 
     /// SIM-with-trim: same mandrels as SIM, but the second mask keeps

@@ -194,12 +194,18 @@ mod tests {
                 .iter()
                 .map(|&t| classify_turn(SadpKind::Sim, x, y, t))
                 .collect();
-            let pref = classes.iter().filter(|&&c| c == TurnClass::Preferred).count();
+            let pref = classes
+                .iter()
+                .filter(|&&c| c == TurnClass::Preferred)
+                .count();
             let nonp = classes
                 .iter()
                 .filter(|&&c| c == TurnClass::NonPreferred)
                 .count();
-            let forb = classes.iter().filter(|&&c| c == TurnClass::Forbidden).count();
+            let forb = classes
+                .iter()
+                .filter(|&&c| c == TurnClass::Forbidden)
+                .count();
             assert_eq!((pref, nonp, forb), (1, 1, 2), "parity {p:?}");
         }
     }

@@ -231,9 +231,7 @@ impl FvpIndex {
     /// occupied position trivially returns the current state.
     pub fn would_create_fvp(&self, x: i32, y: i32) -> bool {
         if self.vias.contains(&(x, y)) {
-            return self
-                .windows_touching(x, y)
-                .any(|w| self.fvp.contains(&w));
+            return self.windows_touching(x, y).any(|w| self.fvp.contains(&w));
         }
         for (ox, oy) in self.windows_touching(x, y) {
             let mut pat = self.window_pattern(ox, oy);

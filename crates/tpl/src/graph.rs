@@ -168,9 +168,7 @@ mod tests {
     #[test]
     fn coloring_conflicts_detects_violation() {
         let g = DecompGraph::from_positions([(0, 0), (1, 0)]);
-        assert!(g
-            .coloring_conflicts(&[Some(0), Some(1)])
-            .is_empty());
+        assert!(g.coloring_conflicts(&[Some(0), Some(1)]).is_empty());
         assert_eq!(g.coloring_conflicts(&[Some(0), Some(0)]).len(), 1);
         // Uncolored vertices never conflict.
         assert!(g.coloring_conflicts(&[Some(0), None]).is_empty());

@@ -8,10 +8,11 @@
 
 use std::time::Duration;
 
-use sadp_dvi::dvi::ilp::IlpOptions;
-use sadp_dvi::dvi::{solve_heuristic, solve_ilp, solve_ilp_lazy, DviParams, DviProblem,
-                    LazyIlpOptions};
 use sadp_dvi::bench::BenchSpec;
+use sadp_dvi::dvi::ilp::IlpOptions;
+use sadp_dvi::dvi::{
+    solve_heuristic, solve_ilp, solve_ilp_lazy, DviParams, DviProblem, LazyIlpOptions,
+};
 use sadp_dvi::grid::SadpKind;
 use sadp_dvi::router::{Router, RouterConfig};
 

@@ -9,11 +9,14 @@
 //! ```
 
 use sadp_dvi::dvi::{feasible_candidate, LayoutView};
-use sadp_dvi::grid::{Axis, Dir, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid,
-                     RoutingSolution, SadpKind, TurnKind, Via, WireEdge};
+use sadp_dvi::grid::{
+    Axis, Dir, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind,
+    TurnKind, Via, WireEdge,
+};
 use sadp_dvi::sadp::{check_mask_set, classify_turn, decompose_layer, DrcRules, TurnClass};
-use sadp_dvi::tpl::{exact_color, vias_conflict, welsh_powell, window_is_fvp, DecompGraph,
-                    FvpIndex};
+use sadp_dvi::tpl::{
+    exact_color, vias_conflict, welsh_powell, window_is_fvp, DecompGraph, FvpIndex,
+};
 
 fn main() {
     let which = std::env::args().nth(1);
@@ -50,8 +53,9 @@ fn main() {
 /// 3-coloring of a small via cluster.
 fn fig1() {
     println!("== Fig. 1: layout decomposition ==");
-    let mut edges: Vec<WireEdge> =
-        (2..6).map(|x| WireEdge::new(1, x, 2, Axis::Horizontal)).collect();
+    let mut edges: Vec<WireEdge> = (2..6)
+        .map(|x| WireEdge::new(1, x, 2, Axis::Horizontal))
+        .collect();
     edges.extend((2..5).map(|y| WireEdge::new(1, 2, y, Axis::Vertical)));
     for kind in [SadpKind::Sim, SadpKind::Sid] {
         let masks = decompose_layer(kind, &edges).expect("decomposable target");
@@ -143,8 +147,9 @@ fn fig5() {
     let grid = RoutingGrid::three_layer(20, 20);
     let mut sol = RoutingSolution::new(grid, &nl);
     // Via at (8,8) joining an M2 east-west wire and an M3 north wire.
-    let mut edges: Vec<WireEdge> =
-        (6..10).map(|x| WireEdge::new(1, x, 8, Axis::Horizontal)).collect();
+    let mut edges: Vec<WireEdge> = (6..10)
+        .map(|x| WireEdge::new(1, x, 8, Axis::Horizontal))
+        .collect();
     edges.extend((8..10).map(|y| WireEdge::new(2, 8, y, Axis::Vertical)));
     let route = RoutedNet::new(
         edges,
@@ -171,10 +176,26 @@ fn fig7() {
     println!("== Fig. 7: forbidden via patterns ==");
     type Case = (&'static str, Vec<(i32, i32)>, bool);
     let cases: [Case; 4] = [
-        ("(a) 5 vias, four on corners", vec![(0, 0), (2, 0), (0, 2), (2, 2), (1, 1)], false),
-        ("(b) 5 vias, not on corners", vec![(0, 0), (2, 0), (0, 2), (1, 1), (1, 2)], true),
-        ("(c) 4 vias, diagonal pair", vec![(0, 0), (2, 2), (1, 0), (0, 1)], false),
-        ("(d) 4 vias, no diagonal pair", vec![(0, 0), (2, 0), (1, 1), (1, 2)], true),
+        (
+            "(a) 5 vias, four on corners",
+            vec![(0, 0), (2, 0), (0, 2), (2, 2), (1, 1)],
+            false,
+        ),
+        (
+            "(b) 5 vias, not on corners",
+            vec![(0, 0), (2, 0), (0, 2), (1, 1), (1, 2)],
+            true,
+        ),
+        (
+            "(c) 4 vias, diagonal pair",
+            vec![(0, 0), (2, 2), (1, 0), (0, 1)],
+            false,
+        ),
+        (
+            "(d) 4 vias, no diagonal pair",
+            vec![(0, 0), (2, 0), (1, 1), (1, 2)],
+            true,
+        ),
     ];
     for (label, vias, expect_fvp) in cases {
         for y in (0..3).rev() {
@@ -211,8 +232,14 @@ fn fig10() {
             .collect();
         println!("    {row}");
     }
-    assert!(idx.would_create_fvp(3, 4), "the hole above the cluster is blocked");
-    assert!(!idx.would_create_fvp(4, 4), "the diagonal completion is allowed");
+    assert!(
+        idx.would_create_fvp(3, 4),
+        "the hole above the cluster is blocked"
+    );
+    assert!(
+        !idx.would_create_fvp(4, 4),
+        "the diagonal completion is allowed"
+    );
     println!("  (o = via, B = blocked location)\n");
 }
 
@@ -224,7 +251,10 @@ fn fig11() {
     for &(x, y) in &wheel {
         idx.add_via(x + 2, y + 2);
     }
-    assert!(idx.fvp_windows().is_empty(), "every window individually is fine");
+    assert!(
+        idx.fvp_windows().is_empty(),
+        "every window individually is fine"
+    );
     let g = DecompGraph::from_positions(wheel);
     assert!(exact_color(&g, 3).is_none(), "globally uncolorable");
     let out = welsh_powell(&g, 3);
@@ -263,7 +293,10 @@ fn fig12() {
             }
         );
     }
-    assert!(idx.would_create_fvp(5, 4), "south candidate must be FVP-rejected");
+    assert!(
+        idx.would_create_fvp(5, 4),
+        "south candidate must be FVP-rejected"
+    );
     assert!(!idx.would_create_fvp(5, 6), "north candidate stays valid");
     assert!(!idx.would_create_fvp(4, 5), "west candidate stays valid");
     assert!(!idx.would_create_fvp(6, 5), "east candidate stays valid");

@@ -16,10 +16,15 @@ const TRACK: f64 = 12.0; // pixels per track
 const COLORS: [&str; 3] = ["#e07a2f", "#3fa34d", "#3b6fd4"]; // orange/green/blue
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "routed_block.svg".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "routed_block.svg".into());
     let grid = RoutingGrid::three_layer(28, 28);
     let mut netlist = Netlist::new();
-    netlist.push(Net::new("a", vec![Pin::new(4, 4), Pin::new(22, 4), Pin::new(12, 18)]));
+    netlist.push(Net::new(
+        "a",
+        vec![Pin::new(4, 4), Pin::new(22, 4), Pin::new(12, 18)],
+    ));
     netlist.push(Net::new("b", vec![Pin::new(4, 10), Pin::new(22, 14)]));
     netlist.push(Net::new("c", vec![Pin::new(8, 22), Pin::new(20, 8)]));
     netlist.push(Net::new("d", vec![Pin::new(6, 16), Pin::new(18, 22)]));
@@ -32,7 +37,10 @@ fn main() {
         svg,
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" viewBox="0 0 {size} {size}">"##
     );
-    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#fafafa"/>"##
+    );
 
     let px = |t: i32| (t as f64 + 1.0) * TRACK;
     let flip = |y: f64| size - y;
@@ -119,9 +127,7 @@ fn main() {
     // Prepend the mask layer so wires render on top.
     svg = svg.replacen(
         "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n",
-        &format!(
-            "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n{mask_layer}"
-        ),
+        &format!("<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n{mask_layer}"),
         1,
     );
     svg.push_str("</svg>\n");

@@ -17,7 +17,10 @@ fn main() {
 
     // A handful of placed nets (pins live on M1 grid points).
     let mut netlist = Netlist::new();
-    netlist.push(Net::new("clk", vec![Pin::new(4, 4), Pin::new(24, 4), Pin::new(14, 20)]));
+    netlist.push(Net::new(
+        "clk",
+        vec![Pin::new(4, 4), Pin::new(24, 4), Pin::new(14, 20)],
+    ));
     netlist.push(Net::new("d0", vec![Pin::new(8, 8), Pin::new(20, 16)]));
     netlist.push(Net::new("d1", vec![Pin::new(8, 12), Pin::new(20, 24)]));
     netlist.push(Net::new("en", vec![Pin::new(12, 28), Pin::new(28, 8)]));

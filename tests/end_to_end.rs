@@ -85,10 +85,7 @@ fn dvi_solvers_respect_all_constraints() {
         }
         // No FVP on any layer after insertion.
         for layer in problem.via_layers() {
-            let mut idx = FvpIndex::new(
-                problem.grid_width().max(3),
-                problem.grid_height().max(3),
-            );
+            let mut idx = FvpIndex::new(problem.grid_width().max(3), problem.grid_height().max(3));
             for (x, y) in problem.existing_on_layer(layer) {
                 idx.add_via(x, y);
             }
@@ -142,7 +139,10 @@ fn paper_shape_dead_vias_fall_with_consideration() {
         dead_base += solve_heuristic(&pb, &DviParams::default()).dead_via_count;
         dead_full += solve_heuristic(&pf, &DviParams::default()).dead_via_count;
         // UV must be zero whenever via-layer TPL is considered.
-        assert_eq!(solve_heuristic(&pf, &DviParams::default()).uncolorable_count, 0);
+        assert_eq!(
+            solve_heuristic(&pf, &DviParams::default()).uncolorable_count,
+            0
+        );
     }
     assert!(
         dead_full <= dead_base,

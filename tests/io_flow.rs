@@ -10,7 +10,12 @@ use sadp_dvi::router::{full_audit, Router, RouterConfig};
 fn route_save_reload_audit() {
     let spec = BenchSpec::paper_suite()[0].scaled(0.02);
     let netlist = spec.generate(21);
-    let out = Router::new(spec.grid(), netlist.clone(), RouterConfig::full(SadpKind::Sim)).run();
+    let out = Router::new(
+        spec.grid(),
+        netlist.clone(),
+        RouterConfig::full(SadpKind::Sim),
+    )
+    .run();
     assert!(out.routed_all);
 
     // Save both artifacts.

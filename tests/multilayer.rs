@@ -23,7 +23,10 @@ fn netlist() -> Netlist {
     let mut nl = Netlist::new();
     nl.push(Net::new("a", vec![Pin::new(4, 4), Pin::new(20, 4)]));
     nl.push(Net::new("b", vec![Pin::new(4, 8), Pin::new(20, 12)]));
-    nl.push(Net::new("c", vec![Pin::new(8, 16), Pin::new(16, 6), Pin::new(12, 20)]));
+    nl.push(Net::new(
+        "c",
+        vec![Pin::new(8, 16), Pin::new(16, 6), Pin::new(12, 20)],
+    ));
     nl.push(Net::new("d", vec![Pin::new(6, 12), Pin::new(18, 18)]));
     nl
 }
@@ -82,7 +85,12 @@ fn m3_wires_can_stack_between_m2_and_m4() {
             vec![Pin::new(3, 4 + 2 * k), Pin::new(21, 4 + 2 * k)],
         ));
     }
-    let out = Router::new(four_layer(25, 25), nl.clone(), RouterConfig::full(SadpKind::Sim)).run();
+    let out = Router::new(
+        four_layer(25, 25),
+        nl.clone(),
+        RouterConfig::full(SadpKind::Sim),
+    )
+    .run();
     assert!(out.routed_all && out.congestion_free);
     let audit = full_audit(SadpKind::Sim, &out.solution, &nl);
     assert!(audit.is_clean(), "{audit:?}");
