@@ -85,16 +85,28 @@ fn main() {
     for v in 0..variants.len() {
         t.normalize(1 + v, 1);
     }
-    for spec in &suite {
+    // One task per circuit (route once, ablate all five variants);
+    // logs are buffered and replayed in suite order.
+    let rows: Vec<(Vec<usize>, String)> = sadp_exec::map(&suite, |spec| {
         let netlist = spec.generate(args.seed);
         let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
         let problem = DviProblem::build(SadpKind::Sim, &out.solution);
-        let mut cells = vec![text(spec.name)];
+        let mut dead = Vec::with_capacity(variants.len());
+        let mut log = String::new();
         for (name, params) in &variants {
             let h = solve_heuristic(&problem, params);
-            eprintln!("  {} / {name}: dead={}", spec.name, h.dead_via_count);
-            cells.push(num(h.dead_via_count as f64));
+            log.push_str(&format!(
+                "  {} / {name}: dead={}\n",
+                spec.name, h.dead_via_count
+            ));
+            dead.push(h.dead_via_count);
         }
+        (dead, log)
+    });
+    for (spec, (dead, log)) in suite.iter().zip(&rows) {
+        eprint!("{log}");
+        let mut cells = vec![text(spec.name)];
+        cells.extend(dead.iter().map(|&d| num(d as f64)));
         t.row(cells);
     }
     print!("{}", t.render());
@@ -119,20 +131,30 @@ fn main() {
     for (i, _) in alphas.iter().enumerate() {
         t.normalize(1 + i, 1);
     }
-    for spec in &suite {
+    // One task per (circuit, alpha) pair — routing dominates here.
+    let tasks: Vec<(usize, i64)> = (0..suite.len())
+        .flat_map(|s| alphas.iter().map(move |&a| (s, a)))
+        .collect();
+    let results: Vec<(usize, String)> = sadp_exec::map(&tasks, |&(s, alpha)| {
+        let spec = &suite[s];
+        let netlist = spec.generate(args.seed);
+        let mut config = RouterConfig::full(SadpKind::Sim);
+        config.params = CostParams {
+            alpha,
+            ..CostParams::default()
+        };
+        let out = Router::new(spec.grid(), netlist, config).run();
+        let problem = DviProblem::build(SadpKind::Sim, &out.solution);
+        let h = solve_heuristic(&problem, &DviParams::default());
+        let log = format!("  {} / alpha={alpha}: dead={}", spec.name, h.dead_via_count);
+        (h.dead_via_count, log)
+    });
+    for (s, spec) in suite.iter().enumerate() {
         let mut cells = vec![text(spec.name)];
-        for &alpha in &alphas {
-            let netlist = spec.generate(args.seed);
-            let mut config = RouterConfig::full(SadpKind::Sim);
-            config.params = CostParams {
-                alpha,
-                ..CostParams::default()
-            };
-            let out = Router::new(spec.grid(), netlist, config).run();
-            let problem = DviProblem::build(SadpKind::Sim, &out.solution);
-            let h = solve_heuristic(&problem, &DviParams::default());
-            eprintln!("  {} / alpha={alpha}: dead={}", spec.name, h.dead_via_count);
-            cells.push(num(h.dead_via_count as f64));
+        for (i, _) in alphas.iter().enumerate() {
+            let (dead, log) = &results[s * alphas.len() + i];
+            eprintln!("{log}");
+            cells.push(num(*dead as f64));
         }
         t.row(cells);
     }
@@ -162,7 +184,9 @@ fn main() {
     for c in 4..=6 {
         t.normalize(c, 4);
     }
-    for spec in &suite {
+    // One task per circuit; the ILP dominates the runtime, so circuits
+    // make natural work units.
+    let rows: Vec<([f64; 6], String)> = sadp_exec::map(&suite, |spec| {
         let netlist = spec.generate(args.seed);
         let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
         let problem = DviProblem::build(SadpKind::Sim, &out.solution);
@@ -175,19 +199,27 @@ fn main() {
                 ..LazyIlpOptions::default()
             },
         );
-        eprintln!(
+        let log = format!(
             "  {}: heur={} heur+swap={} ilp={}",
             spec.name, h.dead_via_count, hi.dead_via_count, ilp.dead_via_count
         );
-        t.row(vec![
-            text(spec.name),
-            num(h.dead_via_count as f64),
-            num(hi.dead_via_count as f64),
-            num(ilp.dead_via_count as f64),
-            num(h.runtime.as_secs_f64()),
-            num(hi.runtime.as_secs_f64()),
-            num(ilp.runtime.as_secs_f64()),
-        ]);
+        (
+            [
+                h.dead_via_count as f64,
+                hi.dead_via_count as f64,
+                ilp.dead_via_count as f64,
+                h.runtime.as_secs_f64(),
+                hi.runtime.as_secs_f64(),
+                ilp.runtime.as_secs_f64(),
+            ],
+            log,
+        )
+    });
+    for (spec, (vals, log)) in suite.iter().zip(&rows) {
+        eprintln!("{log}");
+        let mut cells = vec![text(spec.name)];
+        cells.extend(vals.iter().map(|&v| num(v)));
+        t.row(cells);
     }
     print!("{}", t.render());
 }

@@ -1,0 +1,138 @@
+//! Serial-vs-parallel benchmark of the experiment matrix: runs the
+//! circuit × arm matrix once with the execution pool pinned to one
+//! thread and once at the requested width, asserts the two produce
+//! byte-identical metrics (the pool's determinism contract), and emits
+//! `BENCH_matrix.json` with both wall-clocks and the speedup.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin bench_matrix \
+//!     [-- --scale f --seed n --threads k --circuits a,b --out path]
+//! ```
+//!
+//! The speedup reflects the machine it runs on: on a single-core
+//! container it is ~1.0x by construction (the pool falls back to the
+//! serial path); the CI matrix job runs this on multi-core runners.
+
+use std::time::Instant;
+
+use bench_suite::{four_arms, run_arm, ArmMetrics, RunArgs};
+use benchgen::BenchSpec;
+use sadp_grid::SadpKind;
+
+/// Everything deterministic about one arm's outcome — CPU times are
+/// excluded, they legitimately differ run to run.
+fn fingerprint(m: &ArmMetrics) -> String {
+    format!(
+        "wl={} vias={} dv={} uv={} routed={}",
+        m.wl, m.vias, m.dv, m.uv, m.routed
+    )
+}
+
+fn run_matrix(suite: &[BenchSpec], args: &RunArgs, threads: usize) -> (Vec<String>, f64) {
+    let arms = four_arms(SadpKind::Sim);
+    let tasks: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|s| (0..arms.len()).map(move |a| (s, a)))
+        .collect();
+    let t0 = Instant::now();
+    let metrics = sadp_exec::with_threads(threads, || {
+        sadp_exec::map(&tasks, |&(s, a)| run_arm(&suite[s], arms[a].1, args))
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let prints = tasks
+        .iter()
+        .zip(&metrics)
+        .map(|(&(s, a), m)| format!("{}/{}: {}", suite[s].name, arms[a].0, fingerprint(m)))
+        .collect();
+    (prints, secs)
+}
+
+fn parse_or_die<T: std::str::FromStr>(val: &str, flag: &str, what: &str) -> T {
+    val.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} takes {what}, got {val:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut scale = 0.05f64;
+    let mut seed = 1u64;
+    let mut threads = 4usize;
+    let mut circuits: Vec<String> = ["ecc", "efc", "ctl", "alu"].map(String::from).to_vec();
+    let mut out = String::from("BENCH_matrix.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => scale = parse_or_die(need(i), "--scale", "a float"),
+            "--seed" => seed = parse_or_die(need(i), "--seed", "an integer"),
+            "--threads" => threads = parse_or_die(need(i), "--threads", "an integer"),
+            "--circuits" => circuits = need(i).split(',').map(|s| s.trim().to_string()).collect(),
+            "--out" => out = need(i).clone(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: [--scale f] [--seed n] [--threads k] [--circuits a,b,...] [--out path]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    let run_args = RunArgs {
+        scale,
+        seed,
+        circuits: Some(circuits.clone()),
+        ..RunArgs::default()
+    };
+    let suite = run_args.suite();
+    if suite.is_empty() {
+        eprintln!("no circuits matched {:?} (try --help)", circuits.join(","));
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "matrix: {} circuits x 4 arms, scale {scale}, seed {seed} \
+         (host has {} hardware threads)",
+        suite.len(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let (serial_fp, serial_secs) = run_matrix(&suite, &run_args, 1);
+    eprintln!("  serial (1 thread):    {serial_secs:.2}s");
+    let (parallel_fp, parallel_secs) = run_matrix(&suite, &run_args, threads);
+    eprintln!("  parallel ({threads} threads): {parallel_secs:.2}s");
+
+    // The determinism contract: identical metrics for any width.
+    for (s, p) in serial_fp.iter().zip(&parallel_fp) {
+        assert_eq!(s, p, "serial and parallel matrix results diverged");
+    }
+    eprintln!(
+        "  determinism: all {} arm fingerprints identical",
+        serial_fp.len()
+    );
+
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    let arm_lines: Vec<String> = serial_fp
+        .iter()
+        .map(|fp| format!("    \"{}\"", fp.replace('"', "\\\"")))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"experiment-matrix\",\n  \"seed\": {seed},\n  \"scale\": {scale},\n  \
+         \"circuits\": {},\n  \"arms\": 4,\n  \"threads\": {threads},\n  \
+         \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"identical_outputs\": true,\n  \"fingerprints\": [\n{}\n  ]\n}}\n",
+        suite.len(),
+        arm_lines.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!("matrix speedup at {threads} threads: {speedup:.2}x -> {out}");
+}

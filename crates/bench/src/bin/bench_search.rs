@@ -132,9 +132,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut rows = Vec::new();
-    let mut log_speedup_sum = 0.0f64;
-    for spec in &suite {
+    // One task per circuit. Both kernels stay interleaved *within* a
+    // task, so even when circuits time concurrently the contention
+    // hits both sides of each speedup ratio equally; logs and rows
+    // merge in suite order.
+    let per_spec: Vec<(String, f64, String)> = sadp_exec::map(&suite, |spec| {
         // Best of `reps` per kernel, interleaved so thermal/cache
         // drift hits both sides equally.
         let mut reference: Option<KernelRun> = None;
@@ -160,8 +162,7 @@ fn main() {
         );
         assert_eq!(dense.failed, 0, "{}: dense kernel failed nets", spec.name);
         let speedup = reference.ns_per_connection() / dense.ns_per_connection();
-        log_speedup_sum += speedup.ln();
-        eprintln!(
+        let log = format!(
             "  {}: {} nets, reference {:.0} ns/conn ({} conns), dense {:.0} ns/conn ({} conns) \
              -> {:.2}x",
             spec.name,
@@ -172,7 +173,7 @@ fn main() {
             dense.connections,
             speedup
         );
-        rows.push(format!(
+        let row = format!(
             "    {{\"name\": \"{}\", \"nets\": {}, \"grid\": [{}, {}], \
              \"reference_ns_per_connection\": {:.1}, \"reference_connections\": {}, \
              \"dense_ns_per_connection\": {:.1}, \"dense_connections\": {}, \
@@ -186,7 +187,15 @@ fn main() {
             dense.ns_per_connection(),
             dense.connections,
             speedup
-        ));
+        );
+        (row, speedup, log)
+    });
+    let mut rows = Vec::new();
+    let mut log_speedup_sum = 0.0f64;
+    for (row, speedup, log) in per_spec {
+        eprintln!("{log}");
+        log_speedup_sum += speedup.ln();
+        rows.push(row);
     }
     let geomean = (log_speedup_sum / suite.len() as f64).exp();
     let json = format!(

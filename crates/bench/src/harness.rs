@@ -227,10 +227,27 @@ pub fn arm_table(kind: SadpKind, title: &str) {
             t.normalize(1 + a * 5 + c, 1 + c);
         }
     }
-    for spec in args.suite() {
+    // The circuit × arm matrix is embarrassingly parallel: flatten it
+    // into independent tasks (each router run owns its own scratch)
+    // and replay the buffered progress logs in task order afterwards,
+    // so the output is byte-identical to the serial run.
+    let suite = args.suite();
+    let tasks: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|s| (0..arms.len()).map(move |a| (s, a)))
+        .collect();
+    let results: Vec<(ArmMetrics, String)> = sadp_exec::map(&tasks, |&(s, a)| {
+        let spec = &suite[s];
+        let m = run_arm(spec, arms[a].1, &args);
+        let log = format!(
+            "  [{}] {}: WL={} vias={} cpu={:.1}s dv={} uv={}",
+            kind, spec.name, m.wl, m.vias, m.cpu, m.dv, m.uv
+        );
+        (m, log)
+    });
+    for (s, spec) in suite.iter().enumerate() {
         let mut cells = vec![text(spec.name)];
-        for (_, config) in &arms {
-            let m = run_arm(&spec, *config, &args);
+        for a in 0..arms.len() {
+            let (m, log) = &results[s * arms.len() + a];
             assert!(m.routed, "{}: routability below 100%", spec.name);
             cells.extend([
                 num(m.wl as f64),
@@ -239,10 +256,7 @@ pub fn arm_table(kind: SadpKind, title: &str) {
                 num(m.dv as f64),
                 num(m.uv as f64),
             ]);
-            eprintln!(
-                "  [{}] {}: WL={} vias={} cpu={:.1}s dv={} uv={}",
-                kind, spec.name, m.wl, m.vias, m.cpu, m.dv, m.uv
-            );
+            eprintln!("{log}");
         }
         t.row(cells);
     }
@@ -291,7 +305,9 @@ pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
         .normalize(3, 7)
         .normalize(5, 5)
         .normalize(7, 7);
-    for spec in args.suite() {
+    // One task per circuit; logs buffered and replayed in suite order.
+    let suite = args.suite();
+    let rows: Vec<([f64; 7], String)> = sadp_exec::map(&suite, |spec| {
         let netlist = spec.generate(args.seed);
         let outcome = Router::new(spec.grid(), netlist, RouterConfig::full(kind)).run();
         assert!(outcome.routed_all, "{}: unroutable", spec.name);
@@ -305,7 +321,7 @@ pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
             },
         );
         let gap = (stats.best_bound - ilp.inserted_count() as i64).max(0);
-        eprintln!(
+        let log = format!(
             "  [{}] {}: ILP dv={} uv={} cpu={:.1}s (optimal={}, gap {}, rounds {}, cuts {}) |              heur dv={} uv={} cpu={:.3}s",
             kind,
             spec.name,
@@ -320,16 +336,24 @@ pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
             heur.uncolorable_count,
             heur.runtime.as_secs_f64()
         );
-        t.row(vec![
-            text(spec.name),
-            num(ilp.dead_via_count as f64),
-            num(ilp.uncolorable_count as f64),
-            num(ilp.runtime.as_secs_f64()),
-            num(gap as f64),
-            num(heur.dead_via_count as f64),
-            num(heur.uncolorable_count as f64),
-            num(heur.runtime.as_secs_f64()),
-        ]);
+        (
+            [
+                ilp.dead_via_count as f64,
+                ilp.uncolorable_count as f64,
+                ilp.runtime.as_secs_f64(),
+                gap as f64,
+                heur.dead_via_count as f64,
+                heur.uncolorable_count as f64,
+                heur.runtime.as_secs_f64(),
+            ],
+            log,
+        )
+    });
+    for (spec, (vals, log)) in suite.iter().zip(&rows) {
+        eprintln!("{log}");
+        let mut cells = vec![text(spec.name)];
+        cells.extend(vals.iter().map(|&v| num(v)));
+        t.row(cells);
     }
     print!("{}", t.render());
     println!(

@@ -11,5 +11,5 @@
 pub mod harness;
 pub mod table;
 
-pub use harness::{run_arm, ArmMetrics, DviMode, RunArgs};
+pub use harness::{four_arms, run_arm, ArmMetrics, DviMode, RunArgs};
 pub use table::TableBuilder;

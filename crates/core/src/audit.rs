@@ -48,18 +48,22 @@ pub fn full_audit(kind: SadpKind, solution: &RoutingSolution, netlist: &Netlist)
     let sadp = audit_solution(kind, solution);
 
     let grid = solution.grid();
-    let mut fvp_windows = 0usize;
-    let mut greedy_uncolored = 0usize;
-    for vl in 0..grid.via_layer_count() {
-        let vias = solution.vias_on_layer(vl);
+    // Via layers are independent — FVP scan and greedy coloring fan
+    // out per layer on the execution pool.
+    let per_layer = sadp_exec::map_indexed(grid.via_layer_count() as usize, |vl| {
+        let vias = solution.vias_on_layer(vl as u8);
         let mut idx = FvpIndex::new(grid.width().max(3), grid.height().max(3));
         for (_, v) in &vias {
             idx.add_via(v.x, v.y);
         }
-        fvp_windows += idx.fvp_windows().len();
         let graph = DecompGraph::from_positions(vias.iter().map(|(_, v)| (v.x, v.y)));
-        greedy_uncolored += welsh_powell(&graph, 3).uncolored_count();
-    }
+        (
+            idx.fvp_windows().len(),
+            welsh_powell(&graph, 3).uncolored_count(),
+        )
+    });
+    let fvp_windows = per_layer.iter().map(|&(w, _)| w).sum();
+    let greedy_uncolored = per_layer.iter().map(|&(_, u)| u).sum();
 
     FullAudit {
         disconnected,
@@ -90,10 +94,12 @@ pub fn mask_audit(
     solution: &RoutingSolution,
 ) -> Result<usize, (u8, sadp_decomp::DecomposeError)> {
     let grid = solution.grid();
-    let mut violations = 0usize;
-    for layer in 0..grid.layer_count() {
+    // Each routing layer decomposes independently; merge in layer
+    // order so the first error reported matches the serial scan.
+    let per_layer = sadp_exec::map_indexed(grid.layer_count() as usize, |layer| {
+        let layer = layer as u8;
         if !grid.is_routing_layer(layer) {
-            continue;
+            return Ok(0);
         }
         let edges: Vec<WireEdge> = solution
             .iter()
@@ -101,7 +107,11 @@ pub fn mask_audit(
             .filter(|e| e.layer == layer)
             .collect();
         let masks = decompose_layer(kind, &edges).map_err(|e| (layer, e))?;
-        violations += check_mask_set(&masks, &DrcRules::default(), kind).len();
+        Ok(check_mask_set(&masks, &DrcRules::default(), kind).len())
+    });
+    let mut violations = 0usize;
+    for res in per_layer {
+        violations += res?;
     }
     Ok(violations)
 }
@@ -109,13 +119,12 @@ pub fn mask_audit(
 /// Greedy colorability of every via layer of a router state (used by
 /// report-only arms).
 pub(crate) fn via_layers_colorable(state: &RouterState) -> bool {
-    for vl in 0..state.grid.via_layer_count() {
-        let graph = DecompGraph::from_positions(state.fvp[vl as usize].vias());
-        if !welsh_powell(&graph, 3).is_complete() {
-            return false;
-        }
-    }
-    true
+    sadp_exec::map_indexed(state.grid.via_layer_count() as usize, |vl| {
+        let graph = DecompGraph::from_positions(state.fvp[vl].vias());
+        welsh_powell(&graph, 3).is_complete()
+    })
+    .into_iter()
+    .all(|ok| ok)
 }
 
 #[cfg(test)]

@@ -86,9 +86,14 @@ pub struct RoutingOutcome {
     pub stats: SolutionStats,
     /// Every net routed (the paper reports 100% routability).
     pub routed_all: bool,
-    /// No two nets share a routing resource.
+    /// No two nets share a routing resource in the **final** solution.
+    /// Recomputed after the last R&R phase: the TPL-removal and
+    /// coloring-fix phases reroute nets, so neither the congestion
+    /// phase's verdict nor the TPL phase's FVP-clean flag can stand in
+    /// for this.
     pub congestion_free: bool,
-    /// No forbidden via pattern remains on any via layer.
+    /// No forbidden via pattern remains on any via layer of the final
+    /// solution (also recomputed at the end of the flow).
     pub fvp_free: bool,
     /// Every via-layer decomposition graph is 3-colorable
     /// (Welsh–Powell / exact verification).
@@ -154,16 +159,15 @@ impl Router {
         // One scratch arena serves every search of the run.
         let mut scratch = SearchScratch::new();
         let failed = initial_routing(&mut state, &self.netlist, &mut scratch);
-        let (mut congestion_free, congestion_stats) =
+        let (_, congestion_stats) =
             negotiate_congestion(&mut state, &self.netlist, cong_cap, &mut scratch);
 
         let mut tpl_stats = RnrStats::default();
         let colorable;
         if cfg.consider_tpl {
-            let (clean, stats) =
+            let (_fvp_clean, stats) =
                 tpl_violation_removal(&mut state, &self.netlist, tpl_cap, &mut scratch);
             tpl_stats = stats;
-            congestion_free = clean || state.congested_points().is_empty();
             colorable = ensure_colorable(
                 &mut state,
                 &self.netlist,
@@ -174,21 +178,46 @@ impl Router {
             // Report-only: check colorability without fixing.
             colorable = crate::audit::via_layers_colorable(&state);
         }
-        let fvp_free = (0..state.grid.via_layer_count())
-            .all(|vl| state.fvp[vl as usize].fvp_windows().is_empty());
-
-        let stats = state.solution.stats();
-        RoutingOutcome {
-            solution: state.solution,
-            stats,
-            routed_all: failed.is_empty(),
-            congestion_free,
-            fvp_free,
+        finalize_outcome(
+            state,
+            failed.is_empty(),
             colorable,
-            runtime: start.elapsed(),
             congestion_stats,
             tpl_stats,
-        }
+            start,
+        )
+    }
+}
+
+/// Assembles the [`RoutingOutcome`] from the *final* router state.
+///
+/// `congestion_free` and `fvp_free` are recomputed here rather than
+/// carried over from phase return values: the TPL-removal and
+/// coloring-fix phases rip up and reroute nets after the congestion
+/// phase, so an earlier "clean" verdict (in particular the TPL phase's
+/// FVP-clean flag) must never stand in for the final congestion state.
+fn finalize_outcome(
+    state: RouterState,
+    routed_all: bool,
+    colorable: bool,
+    congestion_stats: RnrStats,
+    tpl_stats: RnrStats,
+    start: Instant,
+) -> RoutingOutcome {
+    let congestion_free = state.congested_points().is_empty();
+    let fvp_free =
+        (0..state.grid.via_layer_count()).all(|vl| state.fvp[vl as usize].fvp_windows().is_empty());
+    let stats = state.solution.stats();
+    RoutingOutcome {
+        solution: state.solution,
+        stats,
+        routed_all,
+        congestion_free,
+        fvp_free,
+        colorable,
+        runtime: start.elapsed(),
+        congestion_stats,
+        tpl_stats,
     }
 }
 
@@ -245,6 +274,68 @@ mod tests {
         assert_send_sync::<Router>();
         assert_send_sync::<RouterConfig>();
         assert_send_sync::<RoutingOutcome>();
+    }
+
+    /// Regression test for the `congestion_free` misreport: the TPL
+    /// phase's FVP-clean flag must not imply congestion-free, because
+    /// phases running *after* it (the coloring fix) rip up and reroute
+    /// nets and can re-introduce resource sharing. The pre-fix code
+    /// computed `congestion_free = clean || congested().is_empty()`
+    /// before the coloring fix ran, so the state built here — TPL
+    /// phase clean, congestion afterwards — was reported as
+    /// congestion-free.
+    #[test]
+    fn congestion_after_clean_tpl_phase_is_not_reported_free() {
+        use crate::costs::CostParams;
+        use crate::rnr::{initial_routing, negotiate_congestion, tpl_violation_removal};
+        use crate::state::RouterState;
+        use sadp_grid::{NetId, RoutedNet};
+
+        let nl = small_netlist();
+        let mut state = RouterState::new(
+            RoutingGrid::three_layer(24, 24),
+            &nl,
+            SadpKind::Sim,
+            CostParams::default(),
+            true,
+            true,
+        );
+        let mut scratch = SearchScratch::new();
+        let failed = initial_routing(&mut state, &nl, &mut scratch);
+        assert!(failed.is_empty());
+        let (_, congestion_stats) = negotiate_congestion(&mut state, &nl, 10_000, &mut scratch);
+        let (fvp_clean, tpl_stats) = tpl_violation_removal(&mut state, &nl, 10_000, &mut scratch);
+        assert!(fvp_clean, "precondition: the TPL phase itself ended clean");
+        assert!(state.congested_points().is_empty());
+
+        // Simulate a coloring-fix reroute that lands net "a" on top of
+        // net "b"'s wire metal (the search permits shared points at a
+        // usage cost, so real reroutes can do exactly this).
+        let overlap: Vec<_> = state
+            .solution
+            .route(NetId(1))
+            .expect("net b routed")
+            .edges()
+            .to_vec();
+        state.uninstall_route(NetId(0));
+        state.install_route(NetId(0), RoutedNet::new(overlap, Vec::new()));
+        assert!(
+            !state.congested_points().is_empty(),
+            "constructed overlap must register as congestion"
+        );
+
+        let out = finalize_outcome(
+            state,
+            true,
+            true,
+            congestion_stats,
+            tpl_stats,
+            Instant::now(),
+        );
+        assert!(
+            !out.congestion_free,
+            "a congested final state was reported congestion_free"
+        );
     }
 
     #[test]

@@ -336,13 +336,17 @@ pub fn ensure_colorable(
     scratch: &mut SearchScratch,
 ) -> bool {
     for _ in 0..max_attempts.max(1) {
-        let mut bad_vias: Vec<Via> = Vec::new();
-        for vl in 0..state.grid.via_layer_count() {
-            let positions: Vec<(i32, i32)> = state.fvp[vl as usize].vias().collect();
+        // Each via layer's coloring check is independent and read-only
+        // on the state: fan out per layer and flatten in layer order
+        // (vertices sorted within a layer) so the rip-up order is the
+        // same for any thread count.
+        let state_ref: &RouterState = state;
+        let per_layer = sadp_exec::map_indexed(state_ref.grid.via_layer_count() as usize, |vl| {
+            let positions: Vec<(i32, i32)> = state_ref.fvp[vl].vias().collect();
             let graph = DecompGraph::from_positions(positions.iter().copied());
             let greedy = welsh_powell(&graph, 3);
             if greedy.is_complete() {
-                continue;
+                return Vec::new();
             }
             // Greedy can fail on colorable graphs: verify exactly on
             // the components that contain uncolored vertices.
@@ -362,11 +366,17 @@ pub fn ensure_colorable(
                     }
                 }
             }
-            for &v in &uncol {
-                let (x, y) = graph.position(v as usize);
-                bad_vias.push(Via::new(vl, x, y));
-            }
-        }
+            let mut uncol: Vec<u32> = uncol.into_iter().collect();
+            uncol.sort_unstable();
+            uncol
+                .into_iter()
+                .map(|v| {
+                    let (x, y) = graph.position(v as usize);
+                    Via::new(vl as u8, x, y)
+                })
+                .collect()
+        });
+        let bad_vias: Vec<Via> = per_layer.into_iter().flatten().collect();
         if bad_vias.is_empty() {
             return true;
         }

@@ -67,14 +67,18 @@ impl<'p> HeurState<'p> {
     fn new(problem: &'p DviProblem, params: DviParams) -> HeurState<'p> {
         let w = problem.grid_width().max(3);
         let h = problem.grid_height().max(3);
-        let mut fvp = HashMap::new();
-        for layer in problem.via_layers() {
+        // Per-via-layer FVP index construction fans out on the
+        // execution pool (one independent index per layer).
+        let layers = problem.via_layers();
+        let fvp: HashMap<u8, FvpIndex> = sadp_exec::map(&layers, |&layer| {
             let mut idx = FvpIndex::new(w, h);
             for (x, y) in problem.existing_on_layer(layer) {
                 idx.add_via(x, y);
             }
-            fvp.insert(layer, idx);
-        }
+            (layer, idx)
+        })
+        .into_iter()
+        .collect();
         let mut conflict_adj = vec![Vec::new(); problem.candidates().len()];
         for &(a, b) in problem.conflicts() {
             conflict_adj[a as usize].push(b);
@@ -198,10 +202,12 @@ impl<'p> HeurState<'p> {
 }
 
 /// Pre-colors the existing vias per via layer with Welsh–Powell.
+/// Layers are independent decomposition graphs, so the coloring fans
+/// out per layer and merges in layer order (deterministic for any
+/// thread count).
 fn precolor(problem: &DviProblem) -> (Vec<Option<u8>>, usize) {
-    let mut colors: Vec<Option<u8>> = vec![None; problem.via_count()];
-    let mut uncolorable = 0usize;
-    for layer in problem.via_layers() {
+    let layers = problem.via_layers();
+    let per_layer: Vec<(Vec<usize>, Vec<Option<u8>>)> = sadp_exec::map(&layers, |&layer| {
         let idxs: Vec<usize> = problem
             .vias()
             .iter()
@@ -214,9 +220,14 @@ fn precolor(problem: &DviProblem) -> (Vec<Option<u8>>, usize) {
                 .map(|&i| (problem.vias()[i].via.x, problem.vias()[i].via.y)),
         );
         let out = welsh_powell(&graph, 3);
+        (idxs, out.colors)
+    });
+    let mut colors: Vec<Option<u8>> = vec![None; problem.via_count()];
+    let mut uncolorable = 0usize;
+    for (idxs, layer_colors) in per_layer {
         for (k, &i) in idxs.iter().enumerate() {
-            colors[i] = out.colors[k];
-            if out.colors[k].is_none() {
+            colors[i] = layer_colors[k];
+            if layer_colors[k].is_none() {
                 uncolorable += 1;
             }
         }

@@ -47,16 +47,26 @@ pub fn welsh_powell(graph: &DecompGraph, num_colors: u8) -> ColoringOutcome {
     order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v as usize)), v));
     let mut colors: Vec<Option<u8>> = vec![None; n];
     let mut uncolorable = Vec::new();
+    // One neighbor-color buffer for the whole pass — this runs on the
+    // router's audit hot path once per vertex, so it is hoisted out of
+    // the loop and only the entries a vertex touched are cleared.
+    let mut used = [false; 256];
+    let mut touched: Vec<u8> = Vec::with_capacity(8);
     for &v in &order {
-        let mut used = [false; 256];
         for &w in graph.neighbors(v as usize) {
             if let Some(c) = colors[w as usize] {
-                used[c as usize] = true;
+                if !used[c as usize] {
+                    used[c as usize] = true;
+                    touched.push(c);
+                }
             }
         }
         match (0..num_colors).find(|&c| !used[c as usize]) {
             Some(c) => colors[v as usize] = Some(c),
             None => uncolorable.push(v),
+        }
+        for c in touched.drain(..) {
+            used[c as usize] = false;
         }
     }
     uncolorable.sort_unstable();
@@ -193,6 +203,37 @@ mod tests {
         let g = DecompGraph::from_positions(pts);
         assert!(welsh_powell(&g, 3).is_complete());
         assert!(exact_color(&g, 3).is_some());
+    }
+
+    /// `num_colors = 0` must degrade gracefully: every vertex is
+    /// reported uncolorable, no panic, no infinite loop — and the
+    /// hoisted neighbor-color buffer stays consistent across vertices.
+    #[test]
+    fn zero_colors_reports_every_vertex_uncolorable() {
+        let g = DecompGraph::from_positions([(0, 0), (1, 0), (0, 1), (10, 10)]);
+        let out = welsh_powell(&g, 0);
+        assert!(!out.is_complete());
+        assert_eq!(out.uncolored_count(), 4);
+        assert_eq!(out.uncolorable, vec![0, 1, 2, 3]);
+        assert!(out.colors.iter().all(Option::is_none));
+    }
+
+    /// The shared `used` buffer must be fully cleared between
+    /// vertices: color a dense layout and re-verify properness (a
+    /// stale entry would force needless uncolorables or improper
+    /// colors).
+    #[test]
+    fn hoisted_buffer_is_cleared_between_vertices() {
+        let pts: Vec<(i32, i32)> = (0..8)
+            .flat_map(|i| vec![(2 * i, 0), (2 * i + 1, 1), (2 * i, 2)])
+            .collect();
+        let g = DecompGraph::from_positions(pts);
+        let out = welsh_powell(&g, 3);
+        assert!(g.coloring_conflicts(&out.colors).is_empty());
+        // An isolated far-away vertex after dense ones must get color 0.
+        let g2 = DecompGraph::from_positions([(0, 0), (1, 0), (0, 1), (50, 50)]);
+        let out2 = welsh_powell(&g2, 3);
+        assert_eq!(out2.colors[3], Some(0));
     }
 
     #[test]
