@@ -13,17 +13,24 @@
 //! ```
 
 use bench_suite::table::{num, text};
-use bench_suite::{RunArgs, TableBuilder};
+use bench_suite::{ArmInput, RunArgs, TableBuilder};
 use dvi::{
     solve_heuristic, solve_heuristic_improved, solve_ilp_lazy, DviParams, DviProblem,
     LazyIlpOptions,
 };
 use sadp_grid::SadpKind;
-use sadp_router::{CostParams, Router, RouterConfig};
+use sadp_router::{CostParams, RouterConfig, RoutingSession};
+use sadp_trace::NoopObserver;
 
 fn main() {
     let args = RunArgs::parse();
     let suite = args.suite();
+    // Generate every circuit once; all three studies borrow the same
+    // grids and netlists through the staged session API.
+    let inputs: Vec<ArmInput> = suite
+        .iter()
+        .map(|spec| ArmInput::prepare(spec, args.seed))
+        .collect();
 
     // Part 1: DP-term ablation on the fully-considered routing.
     let variants: [(&str, DviParams); 5] = [
@@ -87,9 +94,13 @@ fn main() {
     }
     // One task per circuit (route once, ablate all five variants);
     // logs are buffered and replayed in suite order.
-    let rows: Vec<(Vec<usize>, String)> = sadp_exec::map(&suite, |spec| {
-        let netlist = spec.generate(args.seed);
-        let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+    let rows: Vec<(Vec<usize>, String)> = sadp_exec::map(&inputs, |input| {
+        let out = RoutingSession::new(
+            &input.grid,
+            &input.netlist,
+            RouterConfig::full(SadpKind::Sim),
+        )
+        .run_with(&mut NoopObserver);
         let problem = DviProblem::build(SadpKind::Sim, &out.solution);
         let mut dead = Vec::with_capacity(variants.len());
         let mut log = String::new();
@@ -97,15 +108,15 @@ fn main() {
             let h = solve_heuristic(&problem, params);
             log.push_str(&format!(
                 "  {} / {name}: dead={}\n",
-                spec.name, h.dead_via_count
+                input.name, h.dead_via_count
             ));
             dead.push(h.dead_via_count);
         }
         (dead, log)
     });
-    for (spec, (dead, log)) in suite.iter().zip(&rows) {
+    for (input, (dead, log)) in inputs.iter().zip(&rows) {
         eprint!("{log}");
-        let mut cells = vec![text(spec.name)];
+        let mut cells = vec![text(&input.name)];
         cells.extend(dead.iter().map(|&d| num(d as f64)));
         t.row(cells);
     }
@@ -132,25 +143,32 @@ fn main() {
         t.normalize(1 + i, 1);
     }
     // One task per (circuit, alpha) pair — routing dominates here.
-    let tasks: Vec<(usize, i64)> = (0..suite.len())
+    let tasks: Vec<(usize, i64)> = (0..inputs.len())
         .flat_map(|s| alphas.iter().map(move |&a| (s, a)))
         .collect();
     let results: Vec<(usize, String)> = sadp_exec::map(&tasks, |&(s, alpha)| {
-        let spec = &suite[s];
-        let netlist = spec.generate(args.seed);
-        let mut config = RouterConfig::full(SadpKind::Sim);
-        config.params = CostParams {
-            alpha,
-            ..CostParams::default()
-        };
-        let out = Router::new(spec.grid(), netlist, config).run();
+        let input = &inputs[s];
+        let config = RouterConfig::builder(SadpKind::Sim)
+            .dvi(true)
+            .tpl(true)
+            .params(CostParams {
+                alpha,
+                ..CostParams::default()
+            })
+            .build()
+            .expect("ablation params are valid");
+        let out =
+            RoutingSession::new(&input.grid, &input.netlist, config).run_with(&mut NoopObserver);
         let problem = DviProblem::build(SadpKind::Sim, &out.solution);
         let h = solve_heuristic(&problem, &DviParams::default());
-        let log = format!("  {} / alpha={alpha}: dead={}", spec.name, h.dead_via_count);
+        let log = format!(
+            "  {} / alpha={alpha}: dead={}",
+            input.name, h.dead_via_count
+        );
         (h.dead_via_count, log)
     });
-    for (s, spec) in suite.iter().enumerate() {
-        let mut cells = vec![text(spec.name)];
+    for (s, input) in inputs.iter().enumerate() {
+        let mut cells = vec![text(&input.name)];
         for (i, _) in alphas.iter().enumerate() {
             let (dead, log) = &results[s * alphas.len() + i];
             eprintln!("{log}");
@@ -186,9 +204,13 @@ fn main() {
     }
     // One task per circuit; the ILP dominates the runtime, so circuits
     // make natural work units.
-    let rows: Vec<([f64; 6], String)> = sadp_exec::map(&suite, |spec| {
-        let netlist = spec.generate(args.seed);
-        let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+    let rows: Vec<([f64; 6], String)> = sadp_exec::map(&inputs, |input| {
+        let out = RoutingSession::new(
+            &input.grid,
+            &input.netlist,
+            RouterConfig::full(SadpKind::Sim),
+        )
+        .run_with(&mut NoopObserver);
         let problem = DviProblem::build(SadpKind::Sim, &out.solution);
         let h = solve_heuristic(&problem, &DviParams::default());
         let hi = solve_heuristic_improved(&problem, &DviParams::default());
@@ -201,7 +223,7 @@ fn main() {
         );
         let log = format!(
             "  {}: heur={} heur+swap={} ilp={}",
-            spec.name, h.dead_via_count, hi.dead_via_count, ilp.dead_via_count
+            input.name, h.dead_via_count, hi.dead_via_count, ilp.dead_via_count
         );
         (
             [
@@ -215,9 +237,9 @@ fn main() {
             log,
         )
     });
-    for (spec, (vals, log)) in suite.iter().zip(&rows) {
+    for (input, (vals, log)) in inputs.iter().zip(&rows) {
         eprintln!("{log}");
-        let mut cells = vec![text(spec.name)];
+        let mut cells = vec![text(&input.name)];
         cells.extend(vals.iter().map(|&v| num(v)));
         t.row(cells);
     }

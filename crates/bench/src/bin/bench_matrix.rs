@@ -15,8 +15,7 @@
 
 use std::time::Instant;
 
-use bench_suite::{four_arms, run_arm, ArmMetrics, RunArgs};
-use benchgen::BenchSpec;
+use bench_suite::{four_arms, run_arm, ArmInput, ArmMetrics, RunArgs};
 use sadp_grid::SadpKind;
 
 /// Everything deterministic about one arm's outcome — CPU times are
@@ -28,20 +27,20 @@ fn fingerprint(m: &ArmMetrics) -> String {
     )
 }
 
-fn run_matrix(suite: &[BenchSpec], args: &RunArgs, threads: usize) -> (Vec<String>, f64) {
+fn run_matrix(inputs: &[ArmInput], args: &RunArgs, threads: usize) -> (Vec<String>, f64) {
     let arms = four_arms(SadpKind::Sim);
-    let tasks: Vec<(usize, usize)> = (0..suite.len())
+    let tasks: Vec<(usize, usize)> = (0..inputs.len())
         .flat_map(|s| (0..arms.len()).map(move |a| (s, a)))
         .collect();
     let t0 = Instant::now();
     let metrics = sadp_exec::with_threads(threads, || {
-        sadp_exec::map(&tasks, |&(s, a)| run_arm(&suite[s], arms[a].1, args))
+        sadp_exec::map(&tasks, |&(s, a)| run_arm(&inputs[s], arms[a].1, args))
     });
     let secs = t0.elapsed().as_secs_f64();
     let prints = tasks
         .iter()
         .zip(&metrics)
-        .map(|(&(s, a), m)| format!("{}/{}: {}", suite[s].name, arms[a].0, fingerprint(m)))
+        .map(|(&(s, a), m)| format!("{}/{}: {}", inputs[s].name, arms[a].0, fingerprint(m)))
         .collect();
     (prints, secs)
 }
@@ -106,9 +105,13 @@ fn main() {
         suite.len(),
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
-    let (serial_fp, serial_secs) = run_matrix(&suite, &run_args, 1);
+    let inputs: Vec<ArmInput> = suite
+        .iter()
+        .map(|spec| ArmInput::prepare(spec, seed))
+        .collect();
+    let (serial_fp, serial_secs) = run_matrix(&inputs, &run_args, 1);
     eprintln!("  serial (1 thread):    {serial_secs:.2}s");
-    let (parallel_fp, parallel_secs) = run_matrix(&suite, &run_args, threads);
+    let (parallel_fp, parallel_secs) = run_matrix(&inputs, &run_args, threads);
     eprintln!("  parallel ({threads} threads): {parallel_secs:.2}s");
 
     // The determinism contract: identical metrics for any width.

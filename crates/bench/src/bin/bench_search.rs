@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! cargo run --release -p bench-suite --bin bench_search \
-//!     [-- --scale f --seed n --reps k --circuits a,b --out path]
+//!     [-- --scale f --seed n --reps k --circuits a,b --out path
+//!      --baseline BENCH_search.json --tolerance 3.0]
 //! ```
+//!
+//! With `--baseline`, the run compares each circuit's dense
+//! ns/connection against the named report and exits non-zero when any
+//! circuit is slower by more than `--tolerance` percent — the CI gate
+//! that keeps the observer plumbing (a `NoopObserver` monomorphizes to
+//! nothing) from taxing the search hot path.
 //!
 //! Both kernels route the same netlists in the same HPWL order with
 //! routes installed as they land (the initial-routing workload, which
@@ -93,6 +100,8 @@ fn main() {
     let mut reps = 3usize;
     let mut circuits: Vec<String> = ["ecc", "efc", "ctl", "alu"].map(String::from).to_vec();
     let mut out = String::from("BENCH_search.json");
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 3.0f64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -108,9 +117,12 @@ fn main() {
             "--reps" => reps = parse_or_die(need(i), "--reps", "an integer"),
             "--circuits" => circuits = need(i).split(',').map(|s| s.trim().to_string()).collect(),
             "--out" => out = need(i).clone(),
+            "--baseline" => baseline = Some(need(i).clone()),
+            "--tolerance" => tolerance = parse_or_die(need(i), "--tolerance", "a percentage"),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: [--scale f] [--seed n] [--reps k] [--circuits a,b,...] [--out path]"
+                    "usage: [--scale f] [--seed n] [--reps k] [--circuits a,b,...] [--out path] \
+                     [--baseline path] [--tolerance pct]"
                 );
                 std::process::exit(0);
             }
@@ -205,4 +217,47 @@ fn main() {
     );
     std::fs::write(&out, &json).expect("write benchmark json");
     println!("geomean speedup: {geomean:.2}x -> {out}");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let mut failures = 0usize;
+        for spec in &suite {
+            let Some(base) = baseline_ns(&text, spec.name) else {
+                eprintln!("  baseline {path} has no entry for {}; skipping", spec.name);
+                continue;
+            };
+            let now = dense_ns(&json, spec.name).expect("own report has the circuit");
+            let delta = (now - base) / base * 100.0;
+            let verdict = if delta > tolerance { "FAIL" } else { "ok" };
+            eprintln!(
+                "  baseline check {}: {now:.1} ns/conn vs {base:.1} baseline ({delta:+.1}%) {verdict}",
+                spec.name
+            );
+            if delta > tolerance {
+                failures += 1;
+            }
+        }
+        if failures > 0 {
+            eprintln!("{failures} circuit(s) regressed more than {tolerance}% vs {path}");
+            std::process::exit(1);
+        }
+        println!("baseline check passed: all circuits within {tolerance}% of {path}");
+    }
+}
+
+/// Pulls `"dense_ns_per_connection"` for one circuit out of a
+/// `BENCH_search.json` document (string scan — the workspace has no
+/// JSON parser dependency).
+fn dense_ns(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &json[at..];
+    let key = "\"dense_ns_per_connection\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find([',', '}'])?;
+    v[..end].trim().parse().ok()
+}
+
+fn baseline_ns(json: &str, name: &str) -> Option<f64> {
+    dense_ns(json, name)
 }

@@ -9,7 +9,7 @@
 //! ```
 
 use bench_suite::table::{num, text};
-use bench_suite::{run_arm, DviMode, RunArgs, TableBuilder};
+use bench_suite::{run_arm, ArmInput, DviMode, RunArgs, TableBuilder};
 use sadp_grid::SadpKind;
 use sadp_router::{CostParams, RouterConfig};
 
@@ -49,14 +49,16 @@ fn main() {
         t.normalize(6 + c, 1 + c);
     }
     for spec in args.suite() {
-        let a = run_arm(&spec, conf, &args);
-        let b = run_arm(&spec, journal, &args);
+        // Generate once; both parameter sets borrow the same inputs.
+        let input = ArmInput::prepare(&spec, args.seed);
+        let a = run_arm(&input, conf, &args);
+        let b = run_arm(&input, journal, &args);
         eprintln!(
             "  {}: [36] dv={} | ours dv={} (WL {} -> {})",
-            spec.name, a.dv, b.dv, a.wl, b.wl
+            input.name, a.dv, b.dv, a.wl, b.wl
         );
         t.row(vec![
-            text(spec.name),
+            text(&input.name),
             num(a.wl as f64),
             num(a.vias as f64),
             num(a.cpu),

@@ -3,9 +3,12 @@
 use std::time::Duration;
 
 use benchgen::BenchSpec;
-use dvi::{solve_heuristic, solve_ilp_lazy, DviParams, DviProblem, LazyIlpOptions};
-use sadp_grid::SadpKind;
-use sadp_router::{Router, RouterConfig};
+use dvi::{
+    solve_heuristic_observed, solve_ilp_lazy_observed, DviParams, DviProblem, LazyIlpOptions,
+};
+use sadp_grid::{Netlist, RoutingGrid, SadpKind};
+use sadp_router::{RouterConfig, RoutingSession};
+use sadp_trace::{merge_reports, JsonReport, NoopObserver, RouteObserver};
 
 /// Which solver computes the post-routing TPL-aware DVI metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +27,7 @@ pub enum DviMode {
 /// --dvi ilp|heur   post-routing DVI solver            (default heur)
 /// --ilp-limit s    ILP time limit per circuit, secs   (default 600)
 /// --circuits a,b   subset of circuit names            (default all)
+/// --report path    write a merged per-phase JSON report
 /// ```
 #[derive(Debug, Clone)]
 pub struct RunArgs {
@@ -37,6 +41,8 @@ pub struct RunArgs {
     pub ilp_limit: Duration,
     /// Circuit-name filter (`None` = the full suite).
     pub circuits: Option<Vec<String>>,
+    /// Path to write the merged per-phase JSON run report to.
+    pub report: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -47,6 +53,7 @@ impl Default for RunArgs {
             dvi_mode: DviMode::Heuristic,
             ilp_limit: Duration::from_secs(600),
             circuits: None,
+            report: None,
         }
     }
 }
@@ -94,10 +101,14 @@ impl RunArgs {
                     out.circuits = Some(need(i).split(',').map(|s| s.trim().to_string()).collect());
                     i += 2;
                 }
+                "--report" => {
+                    out.report = Some(need(i).clone());
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale f] [--seed n] [--dvi ilp|heur] \
-                         [--ilp-limit secs] [--circuits a,b,...]"
+                         [--ilp-limit secs] [--circuits a,b,...] [--report path]"
                     );
                     std::process::exit(0);
                 }
@@ -143,15 +154,50 @@ pub struct ArmMetrics {
     pub routed: bool,
 }
 
+/// One circuit's generated inputs, prepared **once** and borrowed by
+/// every arm: the staged [`RoutingSession`] takes `&RoutingGrid` and
+/// `&Netlist`, so running the four-arm matrix no longer clones the
+/// netlist or rebuilds the grid per arm.
+#[derive(Debug, Clone)]
+pub struct ArmInput {
+    /// Circuit name (table row label).
+    pub name: String,
+    /// The routing grid.
+    pub grid: RoutingGrid,
+    /// The generated placed netlist.
+    pub netlist: Netlist,
+}
+
+impl ArmInput {
+    /// Generates the circuit's grid and netlist from its spec.
+    pub fn prepare(spec: &BenchSpec, seed: u64) -> ArmInput {
+        ArmInput {
+            name: spec.name.to_string(),
+            grid: spec.grid(),
+            netlist: spec.generate(seed),
+        }
+    }
+}
+
 /// Routes one circuit under `config` and evaluates post-routing
 /// TPL-aware DVI with the chosen solver.
-pub fn run_arm(spec: &BenchSpec, config: RouterConfig, args: &RunArgs) -> ArmMetrics {
-    let netlist = spec.generate(args.seed);
-    let outcome = Router::new(spec.grid(), netlist, config).run();
+pub fn run_arm(input: &ArmInput, config: RouterConfig, args: &RunArgs) -> ArmMetrics {
+    run_arm_observed(input, config, args, &mut NoopObserver)
+}
+
+/// [`run_arm`] with an observer: routing phases and the DVI pass
+/// report their spans and counters into `obs`.
+pub fn run_arm_observed(
+    input: &ArmInput,
+    config: RouterConfig,
+    args: &RunArgs,
+    obs: &mut impl RouteObserver,
+) -> ArmMetrics {
+    let outcome = RoutingSession::new(&input.grid, &input.netlist, config).run_with(obs);
     let problem = DviProblem::build(config.sadp, &outcome.solution);
     let (dv, uv, dvi_cpu) = match args.dvi_mode {
         DviMode::Heuristic => {
-            let h = solve_heuristic(&problem, &DviParams::default());
+            let h = solve_heuristic_observed(&problem, &DviParams::default(), obs);
             (
                 h.dead_via_count,
                 h.uncolorable_count,
@@ -159,12 +205,13 @@ pub fn run_arm(spec: &BenchSpec, config: RouterConfig, args: &RunArgs) -> ArmMet
             )
         }
         DviMode::Ilp => {
-            let (o, _stats) = solve_ilp_lazy(
+            let (o, _stats) = solve_ilp_lazy_observed(
                 &problem,
                 &LazyIlpOptions {
                     time_limit: Some(args.ilp_limit),
                     ..LazyIlpOptions::default()
                 },
+                obs,
             );
             (
                 o.dead_via_count,
@@ -227,28 +274,42 @@ pub fn arm_table(kind: SadpKind, title: &str) {
             t.normalize(1 + a * 5 + c, 1 + c);
         }
     }
-    // The circuit × arm matrix is embarrassingly parallel: flatten it
-    // into independent tasks (each router run owns its own scratch)
+    // The circuit × arm matrix is embarrassingly parallel: generate
+    // each circuit's inputs once, flatten the matrix into independent
+    // tasks that borrow them (each router run owns its own scratch),
     // and replay the buffered progress logs in task order afterwards,
-    // so the output is byte-identical to the serial run.
+    // so the output is byte-identical to the serial run. Each task
+    // fills its own JsonReport; `sadp_exec::map` returns results in
+    // task-index order, so the merged report is deterministic for any
+    // `SADP_EXEC_THREADS`.
     let suite = args.suite();
-    let tasks: Vec<(usize, usize)> = (0..suite.len())
+    let inputs: Vec<ArmInput> = suite
+        .iter()
+        .map(|spec| ArmInput::prepare(spec, args.seed))
+        .collect();
+    let tasks: Vec<(usize, usize)> = (0..inputs.len())
         .flat_map(|s| (0..arms.len()).map(move |a| (s, a)))
         .collect();
-    let results: Vec<(ArmMetrics, String)> = sadp_exec::map(&tasks, |&(s, a)| {
-        let spec = &suite[s];
-        let m = run_arm(spec, arms[a].1, &args);
+    let results: Vec<(ArmMetrics, String, JsonReport)> = sadp_exec::map(&tasks, |&(s, a)| {
+        let input = &inputs[s];
+        let mut report = JsonReport::new(format!("{kind}/{}/{}", input.name, short(arms[a].0)));
+        let m = run_arm_observed(input, arms[a].1, &args, &mut report);
+        report.set_flag("routed", m.routed);
+        report.set_metric("wirelength", m.wl as i64);
+        report.set_metric("vias", m.vias as i64);
+        report.set_metric("dead_vias", m.dv as i64);
+        report.set_metric("uncolorable_vias", m.uv as i64);
         let log = format!(
             "  [{}] {}: WL={} vias={} cpu={:.1}s dv={} uv={}",
-            kind, spec.name, m.wl, m.vias, m.cpu, m.dv, m.uv
+            kind, input.name, m.wl, m.vias, m.cpu, m.dv, m.uv
         );
-        (m, log)
+        (m, log, report)
     });
-    for (s, spec) in suite.iter().enumerate() {
-        let mut cells = vec![text(spec.name)];
+    for (s, input) in inputs.iter().enumerate() {
+        let mut cells = vec![text(&input.name)];
         for a in 0..arms.len() {
-            let (m, log) = &results[s * arms.len() + a];
-            assert!(m.routed, "{}: routability below 100%", spec.name);
+            let (m, log, _) = &results[s * arms.len() + a];
+            assert!(m.routed, "{}: routability below 100%", input.name);
             cells.extend([
                 num(m.wl as f64),
                 num(m.vias as f64),
@@ -265,6 +326,11 @@ pub fn arm_table(kind: SadpKind, title: &str) {
         "(arm columns: base = plain SADP-aware routing, +DVI, +TPL, +both; \
               all normalized against base)"
     );
+    if let Some(path) = &args.report {
+        let reports: Vec<JsonReport> = results.into_iter().map(|(_, _, r)| r).collect();
+        std::fs::write(path, merge_reports(title, &reports)).expect("write report");
+        eprintln!("per-phase run report written to {path}");
+    }
 }
 
 fn short(arm: &str) -> &'static str {
@@ -307,24 +373,29 @@ pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
         .normalize(7, 7);
     // One task per circuit; logs buffered and replayed in suite order.
     let suite = args.suite();
-    let rows: Vec<([f64; 7], String)> = sadp_exec::map(&suite, |spec| {
-        let netlist = spec.generate(args.seed);
-        let outcome = Router::new(spec.grid(), netlist, RouterConfig::full(kind)).run();
-        assert!(outcome.routed_all, "{}: unroutable", spec.name);
+    let inputs: Vec<ArmInput> = suite
+        .iter()
+        .map(|spec| ArmInput::prepare(spec, args.seed))
+        .collect();
+    let rows: Vec<([f64; 7], String)> = sadp_exec::map(&inputs, |input| {
+        let outcome = RoutingSession::new(&input.grid, &input.netlist, RouterConfig::full(kind))
+            .run_with(&mut NoopObserver);
+        assert!(outcome.routed_all, "{}: unroutable", input.name);
         let problem = DviProblem::build(kind, &outcome.solution);
-        let heur = solve_heuristic(&problem, &DviParams::default());
-        let (ilp, stats) = solve_ilp_lazy(
+        let heur = solve_heuristic_observed(&problem, &DviParams::default(), &mut NoopObserver);
+        let (ilp, stats) = solve_ilp_lazy_observed(
             &problem,
             &LazyIlpOptions {
                 time_limit: Some(args.ilp_limit),
                 ..LazyIlpOptions::default()
             },
+            &mut NoopObserver,
         );
         let gap = (stats.best_bound - ilp.inserted_count() as i64).max(0);
         let log = format!(
             "  [{}] {}: ILP dv={} uv={} cpu={:.1}s (optimal={}, gap {}, rounds {}, cuts {}) |              heur dv={} uv={} cpu={:.3}s",
             kind,
-            spec.name,
+            input.name,
             ilp.dead_via_count,
             ilp.uncolorable_count,
             ilp.runtime.as_secs_f64(),
@@ -349,9 +420,9 @@ pub fn ilp_vs_heuristic_table(kind: SadpKind, title: &str) {
             log,
         )
     });
-    for (spec, (vals, log)) in suite.iter().zip(&rows) {
+    for (input, (vals, log)) in inputs.iter().zip(&rows) {
         eprintln!("{log}");
-        let mut cells = vec![text(spec.name)];
+        let mut cells = vec![text(&input.name)];
         cells.extend(vals.iter().map(|&v| num(v)));
         t.row(cells);
     }
@@ -392,9 +463,32 @@ mod tests {
             ..RunArgs::default()
         };
         let spec = BenchSpec::paper_suite()[0].scaled(args.scale);
-        let m = run_arm(&spec, RouterConfig::full(SadpKind::Sim), &args);
+        let input = ArmInput::prepare(&spec, args.seed);
+        let m = run_arm(&input, RouterConfig::full(SadpKind::Sim), &args);
         assert!(m.routed);
         assert!(m.wl > 0);
         assert_eq!(m.uv, 0);
+    }
+
+    #[test]
+    fn observed_arm_matches_noop_arm() {
+        let args = RunArgs {
+            scale: 0.01,
+            ..RunArgs::default()
+        };
+        let spec = BenchSpec::paper_suite()[0].scaled(args.scale);
+        let input = ArmInput::prepare(&spec, args.seed);
+        let config = RouterConfig::full(SadpKind::Sim);
+        let plain = run_arm(&input, config, &args);
+        let mut report = JsonReport::new("unit");
+        let observed = run_arm_observed(&input, config, &args, &mut report);
+        // The observer must not perturb the solution.
+        assert_eq!(plain.wl, observed.wl);
+        assert_eq!(plain.vias, observed.vias);
+        assert_eq!(plain.dv, observed.dv);
+        assert_eq!(plain.uv, observed.uv);
+        // All phases present: routing spans plus the DVI span.
+        assert!(report.spans_of(sadp_trace::Phase::InitialRouting).count() == 1);
+        assert!(report.spans_of(sadp_trace::Phase::Dvi).count() == 1);
     }
 }

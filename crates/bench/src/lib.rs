@@ -11,5 +11,5 @@
 pub mod harness;
 pub mod table;
 
-pub use harness::{four_arms, run_arm, ArmMetrics, DviMode, RunArgs};
+pub use harness::{four_arms, run_arm, run_arm_observed, ArmInput, ArmMetrics, DviMode, RunArgs};
 pub use table::TableBuilder;

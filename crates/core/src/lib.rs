@@ -43,7 +43,9 @@ pub mod rnr;
 pub mod search;
 pub mod state;
 
-pub use audit::{full_audit, mask_audit, FullAudit};
+pub use audit::{full_audit, full_audit_observed, mask_audit, FullAudit};
 pub use costs::CostParams;
-pub use flow::{Router, RouterConfig, RoutingOutcome};
+pub use flow::{
+    ConfigError, Router, RouterConfig, RouterConfigBuilder, RoutingOutcome, RoutingSession,
+};
 pub use search::SearchScratch;

@@ -6,6 +6,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use sadp_grid::{GridPoint, NetId, Netlist, Via};
+use sadp_trace::{Counter, Phase, RouteObserver};
 use tpl_decomp::{exact_color, welsh_powell, DecompGraph};
 
 use crate::dijkstra::route_net;
@@ -41,6 +42,7 @@ pub fn initial_routing(
     state: &mut RouterState,
     netlist: &Netlist,
     scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
 ) -> Vec<NetId> {
     let mut order: Vec<NetId> = netlist.iter().map(|(id, _)| id).collect();
     order.sort_by_key(|&id| (netlist[id].hpwl(), id));
@@ -48,7 +50,10 @@ pub fn initial_routing(
     for id in order {
         match route_net(state, id, &netlist[id], scratch) {
             Some(route) => state.install_route(id, route),
-            None => failed.push(id),
+            None => {
+                obs.counter(Phase::InitialRouting, Counter::FailedNets, 1);
+                failed.push(id);
+            }
         }
     }
     failed
@@ -132,7 +137,9 @@ pub fn negotiate_congestion(
     netlist: &Netlist,
     max_iters: usize,
     scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
 ) -> (bool, RnrStats) {
+    const PHASE: Phase = Phase::CongestionNegotiation;
     let pins = pin_map(netlist);
     let mut stats = RnrStats::default();
     let mut queue: VecDeque<GridPoint> = state.congested_points().into();
@@ -146,11 +153,16 @@ pub fn negotiate_congestion(
         };
         rotation += 1;
         stats.iterations += 1;
+        obs.counter(PHASE, Counter::Iterations, 1);
+        obs.counter(PHASE, Counter::CongestionHits, 1);
         state.bump_history(p);
+        obs.counter(PHASE, Counter::CostDelta, state.params.history_step());
         if reroute(state, netlist, victim, scratch) {
             stats.reroutes += 1;
+            obs.counter(PHASE, Counter::Reroutes, 1);
         } else {
             stats.failures += 1;
+            obs.counter(PHASE, Counter::RerouteFailures, 1);
         }
         // Re-examine: overlaps of the new route, and this point if
         // still congested.
@@ -200,7 +212,9 @@ pub fn tpl_violation_removal(
     netlist: &Netlist,
     max_iters: usize,
     scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
 ) -> (bool, RnrStats) {
+    const PHASE: Phase = Phase::TplViolationRemoval;
     let pins = pin_map(netlist);
     state.enforce_blocked = true;
     state.refresh_all_blocked();
@@ -239,7 +253,9 @@ pub fn tpl_violation_removal(
                 let Some(v) = rip_candidate_at(state, &pins, p, rotation) else {
                     continue;
                 };
+                obs.counter(PHASE, Counter::CongestionHits, 1);
                 state.bump_history(p);
+                obs.counter(PHASE, Counter::CostDelta, state.params.history_step());
                 v
             }
             Violation::Fvp(vl, (ox, oy)) => {
@@ -264,26 +280,37 @@ pub fn tpl_violation_removal(
                 if owners.is_empty() {
                     continue; // pin-driven FVP: nothing to rip
                 }
+                obs.counter(PHASE, Counter::FvpHits, 1);
                 // Raise history on the vias of the FVP so they grow
                 // expensive (Algorithm 2 line 15).
+                let mut bumped = 0i64;
                 for dx in 0..3 {
                     for dy in 0..3 {
                         let (x, y) = (ox + dx, oy + dy);
                         if state.fvp[vl as usize].contains(x, y) {
                             state.bump_history(GridPoint::new(vl, x, y));
                             state.bump_history(GridPoint::new(vl + 1, x, y));
+                            bumped += 2;
                         }
                     }
                 }
+                obs.counter(
+                    PHASE,
+                    Counter::CostDelta,
+                    bumped * state.params.history_step(),
+                );
                 owners[rotation % owners.len()]
             }
         };
         rotation += 1;
         stats.iterations += 1;
+        obs.counter(PHASE, Counter::Iterations, 1);
         if reroute(state, netlist, victim, scratch) {
             stats.reroutes += 1;
+            obs.counter(PHASE, Counter::Reroutes, 1);
         } else {
             stats.failures += 1;
+            obs.counter(PHASE, Counter::RerouteFailures, 1);
         }
         // Requeue fresh violations around the rerouted net.
         if let Some(route) = state.solution.route(victim).cloned() {
@@ -334,8 +361,11 @@ pub fn ensure_colorable(
     netlist: &Netlist,
     max_attempts: usize,
     scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
 ) -> bool {
+    const PHASE: Phase = Phase::ColoringFix;
     for _ in 0..max_attempts.max(1) {
+        obs.counter(PHASE, Counter::ColoringAttempts, 1);
         // Each via layer's coloring check is independent and read-only
         // on the state: fan out per layer and flatten in layer order
         // (vertices sorted within a layer) so the rip-up order is the
@@ -380,11 +410,13 @@ pub fn ensure_colorable(
         if bad_vias.is_empty() {
             return true;
         }
+        obs.counter(PHASE, Counter::UncolorableVias, bad_vias.len() as i64);
         // Rip the owners of truly-uncolorable vias and retry.
         let mut victims: Vec<NetId> = Vec::new();
         for via in bad_vias {
             state.bump_history(via.bottom());
             state.bump_history(via.top());
+            obs.counter(PHASE, Counter::CostDelta, 2 * state.params.history_step());
             if state.is_pin_via(via) {
                 continue;
             }
@@ -398,7 +430,12 @@ pub fn ensure_colorable(
             return false; // only pin vias involved: cannot fix
         }
         for v in victims {
-            reroute(state, netlist, v, scratch);
+            obs.counter(PHASE, Counter::Iterations, 1);
+            if reroute(state, netlist, v, scratch) {
+                obs.counter(PHASE, Counter::Reroutes, 1);
+            } else {
+                obs.counter(PHASE, Counter::RerouteFailures, 1);
+            }
         }
     }
     false
@@ -409,6 +446,7 @@ mod tests {
     use super::*;
     use crate::costs::CostParams;
     use sadp_grid::{Net, Pin, RoutingGrid, SadpKind};
+    use sadp_trace::NoopObserver;
 
     fn build(nets: Vec<Net>, w: i32, h: i32) -> (Netlist, RouterState) {
         let mut nl = Netlist::new();
@@ -431,7 +469,7 @@ mod tests {
             24,
             24,
         );
-        let failed = initial_routing(&mut st, &nl, &mut SearchScratch::new());
+        let failed = initial_routing(&mut st, &nl, &mut SearchScratch::new(), &mut NoopObserver);
         assert!(failed.is_empty());
         assert_eq!(st.solution.routed_count(), 3);
         assert!(st.solution.connectivity_errors(&nl).is_empty());
@@ -449,9 +487,10 @@ mod tests {
         }
         let (nl, mut st) = build(nets, 24, 24);
         let mut scratch = SearchScratch::new();
-        let failed = initial_routing(&mut st, &nl, &mut scratch);
+        let failed = initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
         assert!(failed.is_empty());
-        let (clean, _stats) = negotiate_congestion(&mut st, &nl, 10_000, &mut scratch);
+        let (clean, _stats) =
+            negotiate_congestion(&mut st, &nl, 10_000, &mut scratch, &mut NoopObserver);
         assert!(clean, "congestion not resolved");
         assert!(st.solution.shorts().is_empty());
         assert!(st.solution.connectivity_errors(&nl).is_empty());
@@ -471,10 +510,11 @@ mod tests {
         }
         let (nl, mut st) = build(nets, 24, 24);
         let mut scratch = SearchScratch::new();
-        let failed = initial_routing(&mut st, &nl, &mut scratch);
+        let failed = initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
         assert!(failed.is_empty());
-        let (_c, _s) = negotiate_congestion(&mut st, &nl, 10_000, &mut scratch);
-        let (clean, _stats) = tpl_violation_removal(&mut st, &nl, 10_000, &mut scratch);
+        let (_c, _s) = negotiate_congestion(&mut st, &nl, 10_000, &mut scratch, &mut NoopObserver);
+        let (clean, _stats) =
+            tpl_violation_removal(&mut st, &nl, 10_000, &mut scratch, &mut NoopObserver);
         assert!(clean, "FVPs or congestion remain");
         for vl in 0..st.grid.via_layer_count() {
             assert!(st.fvp[vl as usize].fvp_windows().is_empty());
@@ -493,9 +533,15 @@ mod tests {
             24,
         );
         let mut scratch = SearchScratch::new();
-        initial_routing(&mut st, &nl, &mut scratch);
-        negotiate_congestion(&mut st, &nl, 1000, &mut scratch);
-        tpl_violation_removal(&mut st, &nl, 1000, &mut scratch);
-        assert!(ensure_colorable(&mut st, &nl, 3, &mut scratch));
+        initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
+        negotiate_congestion(&mut st, &nl, 1000, &mut scratch, &mut NoopObserver);
+        tpl_violation_removal(&mut st, &nl, 1000, &mut scratch, &mut NoopObserver);
+        assert!(ensure_colorable(
+            &mut st,
+            &nl,
+            3,
+            &mut scratch,
+            &mut NoopObserver
+        ));
     }
 }

@@ -24,6 +24,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
+use sadp_trace::{Phase, RouteObserver};
 use tpl_decomp::{vias_conflict, welsh_powell, DecompGraph, FvpIndex};
 
 use crate::candidates::DviProblem;
@@ -261,6 +262,16 @@ pub fn solve_heuristic(problem: &DviProblem, params: &DviParams) -> DviOutcome {
     solve_with(problem, params, 0)
 }
 
+/// [`solve_heuristic`] wrapped in a [`sadp_trace::Phase::Dvi`] span,
+/// reporting dead-via / uncolorable / inserted counts to `obs`.
+pub fn solve_heuristic_observed(
+    problem: &DviProblem,
+    params: &DviParams,
+    obs: &mut impl RouteObserver,
+) -> DviOutcome {
+    observe_dvi(obs, || solve_with(problem, params, 0))
+}
+
 /// Algorithm 3 followed by up to `swap_passes` rounds of 1-swap local
 /// improvement — **our extension beyond the paper**: for every via
 /// left dead, if one of its candidates is blocked by exactly one
@@ -273,6 +284,29 @@ pub fn solve_heuristic(problem: &DviProblem, params: &DviParams) -> DviOutcome {
 /// small extra cost.
 pub fn solve_heuristic_improved(problem: &DviProblem, params: &DviParams) -> DviOutcome {
     solve_with(problem, params, 3)
+}
+
+/// [`solve_heuristic_improved`] wrapped in a
+/// [`sadp_trace::Phase::Dvi`] span.
+pub fn solve_heuristic_improved_observed(
+    problem: &DviProblem,
+    params: &DviParams,
+    obs: &mut impl RouteObserver,
+) -> DviOutcome {
+    observe_dvi(obs, || solve_with(problem, params, 3))
+}
+
+/// Runs a DVI solver body inside a [`Phase::Dvi`] span and emits the
+/// outcome counters (shared by every `*_observed` entry point).
+pub(crate) fn observe_dvi(
+    obs: &mut impl RouteObserver,
+    body: impl FnOnce() -> DviOutcome,
+) -> DviOutcome {
+    obs.phase_start(Phase::Dvi);
+    let outcome = body();
+    outcome.emit_counters(obs);
+    obs.phase_end(Phase::Dvi);
+    outcome
 }
 
 fn solve_with(problem: &DviProblem, params: &DviParams, swap_passes: usize) -> DviOutcome {

@@ -75,6 +75,23 @@ pub struct LazyStats {
     pub best_bound: i64,
 }
 
+/// [`solve_ilp_lazy`] wrapped in a [`sadp_trace::Phase::Dvi`] span:
+/// the observer also receives the cut-round count as
+/// [`sadp_trace::Counter::Iterations`].
+pub fn solve_ilp_lazy_observed(
+    problem: &DviProblem,
+    options: &LazyIlpOptions,
+    obs: &mut impl sadp_trace::RouteObserver,
+) -> (DviOutcome, LazyStats) {
+    use sadp_trace::{Counter, Phase};
+    obs.phase_start(Phase::Dvi);
+    let (outcome, stats) = solve_ilp_lazy(problem, options);
+    outcome.emit_counters(obs);
+    obs.counter(Phase::Dvi, Counter::Iterations, stats.rounds as i64);
+    obs.phase_end(Phase::Dvi);
+    (outcome, stats)
+}
+
 /// Solves TPL-aware DVI by the lazy-cut decomposition.
 pub fn solve_ilp_lazy(problem: &DviProblem, options: &LazyIlpOptions) -> (DviOutcome, LazyStats) {
     let start = Instant::now();

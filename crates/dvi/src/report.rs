@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use sadp_trace::{Counter, Phase, RouteObserver};
+
 /// Result of a TPL-aware double-via-insertion pass.
 ///
 /// The paper's table columns map directly: `#DV` =
@@ -40,6 +42,24 @@ impl DviOutcome {
         } else {
             self.inserted.len() as f64 / total as f64
         }
+    }
+
+    /// Emits the outcome's headline counts as [`Phase::Dvi`] counters.
+    /// The `*_observed` solver entry points call this inside their
+    /// phase span, so every DVI sink sees `#DV`, `#UV`, and the
+    /// insertion count without post-processing.
+    pub fn emit_counters(&self, obs: &mut impl RouteObserver) {
+        obs.counter(Phase::Dvi, Counter::DeadVias, self.dead_via_count as i64);
+        obs.counter(
+            Phase::Dvi,
+            Counter::UncolorableVias,
+            self.uncolorable_count as i64,
+        );
+        obs.counter(
+            Phase::Dvi,
+            Counter::InsertedVias,
+            self.inserted.len() as i64,
+        );
     }
 }
 

@@ -8,13 +8,8 @@
 
 use std::time::Duration;
 
-use sadp_dvi::bench::BenchSpec;
 use sadp_dvi::dvi::ilp::IlpOptions;
-use sadp_dvi::dvi::{
-    solve_heuristic, solve_ilp, solve_ilp_lazy, DviParams, DviProblem, LazyIlpOptions,
-};
-use sadp_dvi::grid::SadpKind;
-use sadp_dvi::router::{Router, RouterConfig};
+use sadp_dvi::prelude::*;
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -28,7 +23,9 @@ fn main() {
 
     let spec = BenchSpec::paper_suite()[0].scaled(scale);
     let netlist = spec.generate(1);
-    let outcome = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+    let grid = spec.grid();
+    let outcome = RoutingSession::new(&grid, &netlist, RouterConfig::full(SadpKind::Sim))
+        .run_with(&mut NoopObserver);
     assert!(outcome.routed_all && outcome.fvp_free);
 
     let problem = DviProblem::build(SadpKind::Sim, &outcome.solution);

@@ -9,10 +9,8 @@
 //! ```
 
 use sadp_dvi::dvi::{feasible_candidate, LayoutView};
-use sadp_dvi::grid::{
-    Axis, Dir, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind,
-    TurnKind, Via, WireEdge,
-};
+use sadp_dvi::grid::{Dir, TurnKind};
+use sadp_dvi::prelude::*;
 use sadp_dvi::sadp::{check_mask_set, classify_turn, decompose_layer, DrcRules, TurnClass};
 use sadp_dvi::tpl::{
     exact_color, vias_conflict, welsh_powell, window_is_fvp, DecompGraph, FvpIndex,

@@ -2,14 +2,14 @@
 //! paper's suite (scaled) under both SADP processes and all four
 //! experiment arms, then compare dead-via counts.
 //!
+//! Each arm runs through a [`RoutingSession`] with a [`JsonReport`]
+//! sink, so the run also produces a merged per-phase timing report.
+//!
 //! ```text
-//! cargo run --release --example full_flow [-- <scale> [seed]]
+//! cargo run --release --example full_flow [-- <scale> [seed [report.json]]]
 //! ```
 
-use sadp_dvi::bench::BenchSpec;
-use sadp_dvi::dvi::{solve_heuristic, DviParams, DviProblem};
-use sadp_dvi::grid::SadpKind;
-use sadp_dvi::router::{Router, RouterConfig};
+use sadp_dvi::prelude::*;
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -20,9 +20,11 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let report_path = std::env::args().nth(3);
 
     let spec = BenchSpec::paper_suite()[0].scaled(scale); // ecc
     let netlist = spec.generate(seed);
+    let grid = spec.grid();
     println!(
         "circuit {} (scale {scale}): {} nets on a {}x{} grid\n",
         spec.name,
@@ -31,6 +33,7 @@ fn main() {
         spec.height
     );
 
+    let mut reports: Vec<JsonReport> = Vec::new();
     for kind in SadpKind::ALL {
         println!("== {kind} ==");
         let arms = [
@@ -40,9 +43,11 @@ fn main() {
             ("+both    ", RouterConfig::full(kind)),
         ];
         for (label, config) in arms {
-            let outcome = Router::new(spec.grid(), netlist.clone(), config).run();
+            let mut report = JsonReport::new(format!("{kind}/{}", label.trim()));
+            let outcome = RoutingSession::new(&grid, &netlist, config).run_with(&mut report);
             let problem = DviProblem::build(kind, &outcome.solution);
-            let dvi = solve_heuristic(&problem, &DviParams::default());
+            let dvi = solve_heuristic_observed(&problem, &DviParams::default(), &mut report);
+            outcome.record_into(&mut report);
             println!(
                 "  {label} WL={:>6}  vias={:>5}  route={:>6.2}s  dead={:>4}  UV={:>3}  \
                  fvp_free={} colorable={}",
@@ -54,6 +59,7 @@ fn main() {
                 outcome.fvp_free,
                 outcome.colorable,
             );
+            reports.push(report);
         }
         println!();
     }
@@ -61,4 +67,10 @@ fn main() {
         "Expected shape (paper Tables III/IV): dead vias fall from baseline to +DVI/+TPL \
          and are lowest with both; #UV is zero whenever via-layer TPL is considered."
     );
+
+    if let Some(path) = report_path {
+        let json = merge_reports("full_flow", &reports);
+        std::fs::write(&path, json).expect("write report");
+        println!("\nper-phase run report written to {path}");
+    }
 }

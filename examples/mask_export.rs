@@ -7,8 +7,7 @@
 
 use std::fmt::Write as _;
 
-use sadp_dvi::grid::{Net, Netlist, Pin, RoutingGrid, SadpKind, WireEdge};
-use sadp_dvi::router::{Router, RouterConfig};
+use sadp_dvi::prelude::*;
 use sadp_dvi::sadp::decompose_layer;
 use sadp_dvi::tpl::{welsh_powell, DecompGraph};
 

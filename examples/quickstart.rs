@@ -6,9 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sadp_dvi::dvi::{solve_heuristic, DviParams, DviProblem};
-use sadp_dvi::grid::{Net, Netlist, Pin, RoutingGrid, SadpKind};
-use sadp_dvi::router::{full_audit, Router, RouterConfig};
+use sadp_dvi::prelude::*;
 
 fn main() {
     // A 32x32 grid with three metal layers: M1 pins only, M2
@@ -27,8 +25,12 @@ fn main() {
 
     // Route with both DVI optimization and via-layer TPL
     // manufacturability (the paper's "consider DVI & via layer TPL").
-    let config = RouterConfig::full(SadpKind::Sim);
-    let outcome = Router::new(grid, netlist.clone(), config).run();
+    let config = RouterConfig::builder(SadpKind::Sim)
+        .dvi(true)
+        .tpl(true)
+        .build()
+        .expect("valid config");
+    let outcome = RoutingSession::new(&grid, &netlist, config).run_with(&mut NoopObserver);
 
     println!("routed all nets : {}", outcome.routed_all);
     println!("wirelength      : {}", outcome.stats.wirelength);

@@ -14,6 +14,25 @@
 //! * [`dvi`] — double-via-insertion candidates, ILP model, heuristic.
 //! * [`router`] — the SADP-aware detailed router itself.
 //! * `bench` ([`benchgen`]) — synthetic benchmark generator.
+//! * [`trace`] ([`sadp_trace`]) — phase-level observability (observer
+//!   trait, no-op and JSON-report sinks).
+//!
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use sadp_dvi::prelude::*;
+//!
+//! let spec = BenchSpec::paper_suite()[0].scaled(0.05);
+//! let netlist = spec.generate(1);
+//! let grid = spec.grid();
+//! let config = RouterConfig::builder(SadpKind::Sim)
+//!     .dvi(true)
+//!     .tpl(true)
+//!     .build()
+//!     .expect("valid config");
+//! let outcome = RoutingSession::new(&grid, &netlist, config).run_with(&mut NoopObserver);
+//! assert!(outcome.routed_all);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -23,4 +42,28 @@ pub use dvi;
 pub use sadp_decomp as sadp;
 pub use sadp_grid as grid;
 pub use sadp_router as router;
+pub use sadp_trace as trace;
 pub use tpl_decomp as tpl;
+
+/// The types and functions nearly every user of the workspace touches:
+/// grid/netlist modeling, the staged router, the DVI solvers, the
+/// benchmark generator, and the observability sinks.
+pub mod prelude {
+    pub use benchgen::BenchSpec;
+    pub use dvi::{
+        solve_heuristic, solve_heuristic_improved, solve_heuristic_improved_observed,
+        solve_heuristic_observed, solve_ilp, solve_ilp_lazy, solve_ilp_lazy_observed,
+        solve_ilp_observed, DviOutcome, DviParams, DviProblem, LazyIlpOptions,
+    };
+    pub use sadp_grid::{
+        Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via,
+        WireEdge,
+    };
+    pub use sadp_router::{
+        full_audit, full_audit_observed, mask_audit, ConfigError, CostParams, FullAudit, Router,
+        RouterConfig, RoutingOutcome, RoutingSession,
+    };
+    pub use sadp_trace::{
+        merge_reports, Counter, EventLog, JsonReport, NoopObserver, Phase, RouteObserver,
+    };
+}

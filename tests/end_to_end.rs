@@ -1,10 +1,7 @@
 //! End-to-end integration: generate → route → audit → DVI, across
 //! both SADP processes and all four experiment arms.
 
-use sadp_dvi::bench::BenchSpec;
-use sadp_dvi::dvi::{solve_heuristic, solve_ilp_lazy, DviParams, DviProblem, LazyIlpOptions};
-use sadp_dvi::grid::SadpKind;
-use sadp_dvi::router::{full_audit, mask_audit, Router, RouterConfig};
+use sadp_dvi::prelude::*;
 use sadp_dvi::tpl::{vias_conflict, FvpIndex};
 
 fn spec() -> BenchSpec {
@@ -15,7 +12,10 @@ fn spec() -> BenchSpec {
 fn full_arm_is_clean_for_both_processes() {
     for kind in SadpKind::ALL {
         let netlist = spec().generate(11);
-        let out = Router::new(spec().grid(), netlist.clone(), RouterConfig::full(kind)).run();
+        let grid = spec().grid();
+        // The staged session borrows grid and netlist — no clones.
+        let out = RoutingSession::new(&grid, &netlist, RouterConfig::full(kind))
+            .run_with(&mut NoopObserver);
         assert!(out.routed_all, "{kind}: routability");
         assert!(out.congestion_free, "{kind}: congestion");
         assert!(out.fvp_free, "{kind}: FVPs");
@@ -31,7 +31,9 @@ fn full_arm_is_clean_for_both_processes() {
 fn sim_trim_variant_works_end_to_end() {
     let kind = SadpKind::SimTrim;
     let netlist = spec().generate(11);
-    let out = Router::new(spec().grid(), netlist.clone(), RouterConfig::full(kind)).run();
+    let grid = spec().grid();
+    let out =
+        RoutingSession::new(&grid, &netlist, RouterConfig::full(kind)).run_with(&mut NoopObserver);
     assert!(out.routed_all && out.congestion_free && out.fvp_free && out.colorable);
     let audit = full_audit(kind, &out.solution, &netlist);
     assert!(audit.is_clean(), "{audit:?}");
@@ -49,9 +51,10 @@ fn all_arms_route_everything() {
         RouterConfig::with_tpl(kind),
         RouterConfig::full(kind),
     ];
+    let netlist = spec().generate(3);
+    let grid = spec().grid();
     for config in configs {
-        let netlist = spec().generate(3);
-        let out = Router::new(spec().grid(), netlist.clone(), config).run();
+        let out = RoutingSession::new(&grid, &netlist, config).run_with(&mut NoopObserver);
         assert!(out.routed_all && out.congestion_free);
         // Always SADP-legal and short-free, whatever the arm.
         let audit = full_audit(kind, &out.solution, &netlist);
@@ -130,10 +133,13 @@ fn paper_shape_dead_vias_fall_with_consideration() {
     let kind = SadpKind::Sim;
     let mut dead_base = 0usize;
     let mut dead_full = 0usize;
+    let grid = spec().grid();
     for seed in [1, 2, 3] {
         let netlist = spec().generate(seed);
-        let base = Router::new(spec().grid(), netlist.clone(), RouterConfig::baseline(kind)).run();
-        let full = Router::new(spec().grid(), netlist, RouterConfig::full(kind)).run();
+        let base = RoutingSession::new(&grid, &netlist, RouterConfig::baseline(kind))
+            .run_with(&mut NoopObserver);
+        let full = RoutingSession::new(&grid, &netlist, RouterConfig::full(kind))
+            .run_with(&mut NoopObserver);
         let pb = DviProblem::build(kind, &base.solution);
         let pf = DviProblem::build(kind, &full.solution);
         dead_base += solve_heuristic(&pb, &DviParams::default()).dead_via_count;
@@ -157,7 +163,9 @@ fn paper_shape_dead_vias_fall_with_consideration() {
 fn bus_style_netlists_route_clean() {
     let s = spec();
     let netlist = s.generate_bus_style(3, 0.6);
-    let out = Router::new(s.grid(), netlist.clone(), RouterConfig::full(SadpKind::Sim)).run();
+    let grid = s.grid();
+    let out = RoutingSession::new(&grid, &netlist, RouterConfig::full(SadpKind::Sim))
+        .run_with(&mut NoopObserver);
     assert!(out.routed_all && out.congestion_free && out.fvp_free && out.colorable);
     let audit = full_audit(SadpKind::Sim, &out.solution, &netlist);
     assert!(audit.is_clean(), "{audit:?}");

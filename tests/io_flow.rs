@@ -2,9 +2,8 @@
 //! then re-auditing it — the workflow a downstream user scripting the
 //! suite would follow.
 
-use sadp_dvi::bench::BenchSpec;
-use sadp_dvi::grid::{read_netlist, read_solution, write_netlist, write_solution, SadpKind};
-use sadp_dvi::router::{full_audit, Router, RouterConfig};
+use sadp_dvi::grid::{read_netlist, read_solution, write_netlist, write_solution};
+use sadp_dvi::prelude::*;
 
 #[test]
 fn route_save_reload_audit() {

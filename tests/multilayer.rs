@@ -2,9 +2,8 @@
 //! (M2–M4); everything in the suite is layer-count generic, which
 //! these tests pin down.
 
-use sadp_dvi::dvi::{solve_heuristic, DviParams, DviProblem};
-use sadp_dvi::grid::{Axis, LayerRole, Net, Netlist, Pin, RoutingGrid, SadpKind};
-use sadp_dvi::router::{full_audit, Router, RouterConfig};
+use sadp_dvi::grid::LayerRole;
+use sadp_dvi::prelude::*;
 
 fn four_layer(width: i32, height: i32) -> RoutingGrid {
     RoutingGrid::new(

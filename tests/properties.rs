@@ -3,10 +3,8 @@
 
 use proptest::prelude::*;
 
-use sadp_dvi::dvi::{solve_heuristic, DviParams, DviProblem};
 use sadp_dvi::grid::{Dir, TurnKind};
-use sadp_dvi::grid::{Net, Netlist, Pin, RoutingGrid, SadpKind};
-use sadp_dvi::router::{full_audit, Router, RouterConfig};
+use sadp_dvi::prelude::*;
 use sadp_dvi::sadp::{classify_turn, stub_turn_ok, TurnClass};
 use sadp_dvi::tpl::{welsh_powell, window_is_3colorable_bruteforce, window_is_fvp, DecompGraph};
 
