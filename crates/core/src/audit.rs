@@ -59,7 +59,7 @@ pub fn full_audit(kind: SadpKind, solution: &RoutingSolution, netlist: &Netlist)
         }
         let graph = DecompGraph::from_positions(vias.iter().map(|(_, v)| (v.x, v.y)));
         (
-            idx.fvp_windows().len(),
+            idx.fvp_window_count(),
             welsh_powell(&graph, 3).uncolored_count(),
         )
     });

@@ -13,6 +13,7 @@
 //!   a session driven with whatever observer is supplied
 //!   ([`Router::run`] uses the zero-overhead [`NoopObserver`]).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -347,6 +348,9 @@ enum Stage {
 pub struct RoutingSession<'a> {
     netlist: &'a Netlist,
     config: RouterConfig,
+    /// Pin location → pinned nets, built once for the whole session
+    /// and shared by both R&R phases.
+    pins: HashMap<(i32, i32), Vec<NetId>>,
     state: RouterState,
     scratch: SearchScratch,
     start: Instant,
@@ -374,6 +378,7 @@ impl<'a> RoutingSession<'a> {
         RoutingSession {
             netlist,
             config,
+            pins: crate::rnr::pin_map(netlist),
             state,
             scratch: SearchScratch::new(),
             start: Instant::now(),
@@ -445,8 +450,14 @@ impl<'a> RoutingSession<'a> {
             self.initial_route(obs);
             let cap = self.auto_cap(self.config.max_congestion_iters);
             obs.phase_start(Phase::CongestionNegotiation);
-            let (clean, stats) =
-                negotiate_congestion(&mut self.state, self.netlist, cap, &mut self.scratch, obs);
+            let (clean, stats) = negotiate_congestion(
+                &mut self.state,
+                self.netlist,
+                &self.pins,
+                cap,
+                &mut self.scratch,
+                obs,
+            );
             obs.phase_end(Phase::CongestionNegotiation);
             self.congestion_clean = clean;
             self.congestion_stats = stats;
@@ -468,6 +479,7 @@ impl<'a> RoutingSession<'a> {
                 let (clean, stats) = tpl_violation_removal(
                     &mut self.state,
                     self.netlist,
+                    &self.pins,
                     cap,
                     &mut self.scratch,
                     obs,
@@ -530,7 +542,7 @@ impl<'a> RoutingSession<'a> {
         let congested = self.state.congested_points();
         obs.counter(Phase::Audit, Counter::AuditShorts, congested.len() as i64);
         let fvp_windows: usize = (0..self.state.grid.via_layer_count())
-            .map(|vl| self.state.fvp[vl as usize].fvp_windows().len())
+            .map(|vl| self.state.fvp[vl as usize].fvp_window_count())
             .sum();
         obs.counter(Phase::Audit, Counter::AuditFvpWindows, fvp_windows as i64);
         obs.phase_end(Phase::Audit);

@@ -25,7 +25,10 @@ pub struct RnrStats {
 }
 
 /// Map from pin location to the nets pinned there.
-fn pin_map(netlist: &Netlist) -> HashMap<(i32, i32), Vec<NetId>> {
+///
+/// Derived from the immutable netlist, so callers build it once (see
+/// `RoutingSession::new`) and pass it to both R&R phases.
+pub(crate) fn pin_map(netlist: &Netlist) -> HashMap<(i32, i32), Vec<NetId>> {
     let mut map: HashMap<(i32, i32), Vec<NetId>> = HashMap::new();
     for (id, net) in netlist.iter() {
         for p in net.pins() {
@@ -135,12 +138,12 @@ fn rip_candidate_at(
 pub fn negotiate_congestion(
     state: &mut RouterState,
     netlist: &Netlist,
+    pins: &HashMap<(i32, i32), Vec<NetId>>,
     max_iters: usize,
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
 ) -> (bool, RnrStats) {
     const PHASE: Phase = Phase::CongestionNegotiation;
-    let pins = pin_map(netlist);
     let mut stats = RnrStats::default();
     let mut queue: VecDeque<GridPoint> = state.congested_points().into();
     let mut rotation = 0usize;
@@ -148,7 +151,7 @@ pub fn negotiate_congestion(
         if stats.iterations >= max_iters {
             break;
         }
-        let Some(victim) = rip_candidate_at(state, &pins, p, rotation) else {
+        let Some(victim) = rip_candidate_at(state, pins, p, rotation) else {
             continue;
         };
         rotation += 1;
@@ -167,9 +170,7 @@ pub fn negotiate_congestion(
         // Re-examine: overlaps of the new route, and this point if
         // still congested.
         if let Some(route) = state.solution.route(victim) {
-            let mut pts: Vec<GridPoint> = route.covered_points().into_iter().collect();
-            pts.sort_unstable();
-            for q in pts {
+            for &q in route.covered_points_sorted() {
                 if state.owners_of(q).len() > 1 {
                     queue.push_back(q);
                 }
@@ -210,12 +211,12 @@ impl Violation {
 pub fn tpl_violation_removal(
     state: &mut RouterState,
     netlist: &Netlist,
+    pins: &HashMap<(i32, i32), Vec<NetId>>,
     max_iters: usize,
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
 ) -> (bool, RnrStats) {
     const PHASE: Phase = Phase::TplViolationRemoval;
-    let pins = pin_map(netlist);
     state.enforce_blocked = true;
     state.refresh_all_blocked();
 
@@ -231,13 +232,7 @@ pub fn tpl_violation_removal(
         push(&mut heap, &mut seq, Violation::Congestion(p));
     }
     for vl in 0..state.grid.via_layer_count() {
-        let mut windows: Vec<(i32, i32)> = state.fvp[vl as usize]
-            .fvp_windows()
-            .iter()
-            .copied()
-            .collect();
-        windows.sort_unstable();
-        for w in windows {
+        for w in state.fvp[vl as usize].fvp_windows() {
             push(&mut heap, &mut seq, Violation::Fvp(vl, w));
         }
     }
@@ -250,7 +245,7 @@ pub fn tpl_violation_removal(
         // Stale-entry check and victim selection.
         let victim = match viol {
             Violation::Congestion(p) => {
-                let Some(v) = rip_candidate_at(state, &pins, p, rotation) else {
+                let Some(v) = rip_candidate_at(state, pins, p, rotation) else {
                     continue;
                 };
                 obs.counter(PHASE, Counter::CongestionHits, 1);
@@ -259,7 +254,7 @@ pub fn tpl_violation_removal(
                 v
             }
             Violation::Fvp(vl, (ox, oy)) => {
-                if !state.fvp[vl as usize].fvp_windows().contains(&(ox, oy)) {
+                if !state.fvp[vl as usize].is_fvp_window(ox, oy) {
                     continue; // resolved meanwhile
                 }
                 // Nets owning movable vias in the window.
@@ -270,7 +265,7 @@ pub fn tpl_violation_removal(
                         if state.is_pin_via(Via::new(vl, x, y)) {
                             continue;
                         }
-                        for &n in state.view.via_owners(vl, x, y) {
+                        for n in state.view.via_owners(vl, x, y) {
                             if !owners.contains(&n) {
                                 owners.push(n);
                             }
@@ -314,18 +309,22 @@ pub fn tpl_violation_removal(
         }
         // Requeue fresh violations around the rerouted net.
         if let Some(route) = state.solution.route(victim).cloned() {
-            let mut pts: Vec<GridPoint> = route.covered_points().into_iter().collect();
-            pts.sort_unstable();
-            for q in pts {
+            for &q in route.covered_points_sorted() {
                 if state.owners_of(q).len() > 1 {
                     push(&mut heap, &mut seq, Violation::Congestion(q));
                 }
             }
+            // Only windows whose origin is within Chebyshev distance 2
+            // of the via can contain it: probe those 25 origins
+            // directly instead of scanning every FVP window.
+            let (gw, gh) = (state.grid.width(), state.grid.height());
             for &v in route.vias() {
                 let vl = v.below as usize;
-                for (wx, wy) in state.fvp[vl].fvp_windows().iter().copied() {
-                    if (v.x - wx).abs() <= 2 && (v.y - wy).abs() <= 2 {
-                        push(&mut heap, &mut seq, Violation::Fvp(v.below, (wx, wy)));
+                for wx in (v.x - 2).max(0)..=(v.x + 2).min(gw - 3) {
+                    for wy in (v.y - 2).max(0)..=(v.y + 2).min(gh - 3) {
+                        if state.fvp[vl].is_fvp_window(wx, wy) {
+                            push(&mut heap, &mut seq, Violation::Fvp(v.below, (wx, wy)));
+                        }
                     }
                 }
             }
@@ -338,7 +337,7 @@ pub fn tpl_violation_removal(
                 }
             }
             Violation::Fvp(vl, w) => {
-                if state.fvp[vl as usize].fvp_windows().contains(&w) {
+                if state.fvp[vl as usize].is_fvp_window(w.0, w.1) {
                     push(&mut heap, &mut seq, Violation::Fvp(vl, w));
                 }
             }
@@ -347,7 +346,7 @@ pub fn tpl_violation_removal(
 
     let clean = state.congested_points().is_empty()
         && (0..state.grid.via_layer_count())
-            .all(|vl| state.fvp[vl as usize].fvp_windows().is_empty());
+            .all(|vl| state.fvp[vl as usize].fvp_window_count() == 0);
     (clean, stats)
 }
 
@@ -420,7 +419,7 @@ pub fn ensure_colorable(
             if state.is_pin_via(via) {
                 continue;
             }
-            for &n in state.view.via_owners(via.below, via.x, via.y) {
+            for n in state.view.via_owners(via.below, via.x, via.y) {
                 if !victims.contains(&n) {
                     victims.push(n);
                 }
@@ -486,11 +485,12 @@ mod tests {
             ));
         }
         let (nl, mut st) = build(nets, 24, 24);
+        let pins = pin_map(&nl);
         let mut scratch = SearchScratch::new();
         let failed = initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
         assert!(failed.is_empty());
         let (clean, _stats) =
-            negotiate_congestion(&mut st, &nl, 10_000, &mut scratch, &mut NoopObserver);
+            negotiate_congestion(&mut st, &nl, &pins, 10_000, &mut scratch, &mut NoopObserver);
         assert!(clean, "congestion not resolved");
         assert!(st.solution.shorts().is_empty());
         assert!(st.solution.connectivity_errors(&nl).is_empty());
@@ -509,12 +509,14 @@ mod tests {
             ));
         }
         let (nl, mut st) = build(nets, 24, 24);
+        let pins = pin_map(&nl);
         let mut scratch = SearchScratch::new();
         let failed = initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
         assert!(failed.is_empty());
-        let (_c, _s) = negotiate_congestion(&mut st, &nl, 10_000, &mut scratch, &mut NoopObserver);
+        let (_c, _s) =
+            negotiate_congestion(&mut st, &nl, &pins, 10_000, &mut scratch, &mut NoopObserver);
         let (clean, _stats) =
-            tpl_violation_removal(&mut st, &nl, 10_000, &mut scratch, &mut NoopObserver);
+            tpl_violation_removal(&mut st, &nl, &pins, 10_000, &mut scratch, &mut NoopObserver);
         assert!(clean, "FVPs or congestion remain");
         for vl in 0..st.grid.via_layer_count() {
             assert!(st.fvp[vl as usize].fvp_windows().is_empty());
@@ -532,10 +534,11 @@ mod tests {
             24,
             24,
         );
+        let pins = pin_map(&nl);
         let mut scratch = SearchScratch::new();
         initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
-        negotiate_congestion(&mut st, &nl, 1000, &mut scratch, &mut NoopObserver);
-        tpl_violation_removal(&mut st, &nl, 1000, &mut scratch, &mut NoopObserver);
+        negotiate_congestion(&mut st, &nl, &pins, 1000, &mut scratch, &mut NoopObserver);
+        tpl_violation_removal(&mut st, &nl, &pins, 1000, &mut scratch, &mut NoopObserver);
         assert!(ensure_colorable(
             &mut st,
             &nl,

@@ -352,30 +352,17 @@ impl RouterState {
     }
 
     /// All currently congested metal points (≥ 2 distinct owners).
+    ///
+    /// O(#congested): the dense view tracks shared points in its
+    /// overflow table, so no full-layout scan is needed.
     pub fn congested_points(&self) -> Vec<GridPoint> {
-        let mut out: Vec<GridPoint> = self
-            .view
-            .iter_points()
-            .filter(|(p, owners)| {
-                let mut distinct: Vec<NetId> = Vec::new();
-                for &o in *owners {
-                    if !distinct.contains(&o) {
-                        distinct.push(o);
-                    }
-                }
-                let _ = p;
-                distinct.len() > 1
-            })
-            .map(|(p, _)| p)
-            .collect();
-        out.sort_unstable();
-        out
+        self.view.multi_owner_points()
     }
 
-    /// Distinct owners of a metal point.
+    /// Distinct owners of a metal point, in first-registration order.
     pub fn owners_of(&self, p: GridPoint) -> Vec<NetId> {
         let mut distinct: Vec<NetId> = Vec::new();
-        for &o in self.view.owners(p) {
+        for o in self.view.owners(p) {
             if !distinct.contains(&o) {
                 distinct.push(o);
             }

@@ -1,0 +1,189 @@
+//! Differential property tests pinning the dense occupancy index to
+//! the pre-dense hash-map reference implementation
+//! ([`crate::candidates::reference`]).
+//!
+//! Both views are driven through identical random add/remove
+//! sequences and must agree on every query — including owner *order*,
+//! which the rip-up rotation depends on — and [`feasible_candidate`]
+//! must return the same verdict as the reference scan for every
+//! (kind, via, direction) probe.
+
+use proptest::prelude::*;
+use sadp_grid::{Axis, Dir, GridPoint, NetId, RoutedNet, RoutingGrid, SadpKind, Via, WireEdge};
+
+use crate::candidates::{feasible_candidate, reference, LayoutView};
+
+const W: i32 = 9;
+const H: i32 = 9;
+
+/// A route as raw generator output: unit edges on the routing layers
+/// (`bool` = horizontal) plus vias, all inside the `W`×`H` grid.
+type RawRoute = (Vec<(u8, i32, i32, bool)>, Vec<(u8, i32, i32)>);
+
+fn build_route(raw: &RawRoute) -> RoutedNet {
+    let edges = raw
+        .0
+        .iter()
+        .map(|&(l, x, y, horiz)| {
+            let axis = if horiz {
+                Axis::Horizontal
+            } else {
+                Axis::Vertical
+            };
+            WireEdge::new(l, x, y, axis)
+        })
+        .collect();
+    let vias = raw.1.iter().map(|&(b, x, y)| Via::new(b, x, y)).collect();
+    RoutedNet::new(edges, vias)
+}
+
+fn raw_route() -> impl Strategy<Value = RawRoute> {
+    (
+        proptest::collection::vec((1u8..3, 0i32..W - 1, 0i32..H - 1, any::<bool>()), 0..14),
+        proptest::collection::vec((0u8..2, 0i32..W, 0i32..H), 0..8),
+    )
+}
+
+/// Every point/via query both views answer, compared exhaustively.
+fn assert_views_agree(
+    dense: &LayoutView,
+    refv: &reference::LayoutView,
+    net_count: u32,
+) -> Result<(), String> {
+    macro_rules! check {
+        ($a:expr, $b:expr, $what:expr) => {
+            if $a != $b {
+                return Err(format!(
+                    "{} diverged: dense {:?} vs reference {:?}",
+                    $what, $a, $b
+                ));
+            }
+        };
+    }
+    for layer in 0..3u8 {
+        for x in 0..W {
+            for y in 0..H {
+                let p = GridPoint::new(layer, x, y);
+                let d: Vec<NetId> = dense.owners(p).collect();
+                check!(&d[..], refv.owners(p), format!("owners({p:?})"));
+                for n in 0..net_count {
+                    let id = NetId(n);
+                    check!(
+                        dense.occupied_by_other(p, id),
+                        refv.occupied_by_other(p, id),
+                        format!("occupied_by_other({p:?}, {id:?})")
+                    );
+                    check!(
+                        dense.distinct_others(p, id),
+                        refv.distinct_others(p, id),
+                        format!("distinct_others({p:?}, {id:?})")
+                    );
+                }
+            }
+        }
+    }
+    for vl in 0..2u8 {
+        for x in 0..W {
+            for y in 0..H {
+                check!(
+                    dense.via_at(vl, x, y),
+                    refv.via_at(vl, x, y),
+                    format!("via_at({vl}, {x}, {y})")
+                );
+                let d: Vec<NetId> = dense.via_owners(vl, x, y).collect();
+                check!(
+                    &d[..],
+                    refv.via_owners(vl, x, y),
+                    format!("via_owners({vl}, {x}, {y})")
+                );
+            }
+        }
+    }
+    // multi_owner_points == the reference scan for ≥2 distinct owners.
+    let mut expect: Vec<GridPoint> = Vec::new();
+    for layer in 0..3u8 {
+        for x in 0..W {
+            for y in 0..H {
+                let p = GridPoint::new(layer, x, y);
+                let mut distinct: Vec<NetId> = Vec::new();
+                for &o in refv.owners(p) {
+                    if !distinct.contains(&o) {
+                        distinct.push(o);
+                    }
+                }
+                if distinct.len() > 1 {
+                    expect.push(p);
+                }
+            }
+        }
+    }
+    check!(dense.multi_owner_points(), expect, "multi_owner_points()");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random install/uninstall sequences leave both views in
+    /// query-identical states after every step.
+    #[test]
+    fn dense_view_matches_reference_under_random_ops(
+        raws in proptest::collection::vec(raw_route(), 1..5),
+        ops in proptest::collection::vec(0usize..8, 1..20),
+    ) {
+        let grid = RoutingGrid::three_layer(W, H);
+        let routes: Vec<RoutedNet> = raws.iter().map(build_route).collect();
+        let mut dense = LayoutView::new(grid.clone());
+        let mut refv = reference::LayoutView::new(grid);
+        let mut installed = vec![false; routes.len()];
+        for pick in ops {
+            let i = pick % routes.len();
+            let id = NetId(i as u32);
+            if installed[i] {
+                dense.remove_route(id, &routes[i]);
+                refv.remove_route(id, &routes[i]);
+            } else {
+                dense.add_route(id, &routes[i]);
+                refv.add_route(id, &routes[i]);
+            }
+            installed[i] = !installed[i];
+            if let Err(e) = assert_views_agree(&dense, &refv, routes.len() as u32) {
+                prop_assert!(false, "{}", e);
+            }
+        }
+    }
+
+    /// The dense fast path of `feasible_candidate` agrees with the
+    /// pre-dense reference scan for every (kind, via, dir) probe.
+    #[test]
+    fn feasible_candidate_matches_reference(
+        raws in proptest::collection::vec(raw_route(), 2..5),
+    ) {
+        let grid = RoutingGrid::three_layer(W, H);
+        let routes: Vec<RoutedNet> = raws.iter().map(build_route).collect();
+        let mut dense = LayoutView::new(grid.clone());
+        let mut refv = reference::LayoutView::new(grid);
+        for (i, r) in routes.iter().enumerate() {
+            dense.add_route(NetId(i as u32), r);
+            refv.add_route(NetId(i as u32), r);
+        }
+        for kind in SadpKind::ALL {
+            for (i, r) in routes.iter().enumerate() {
+                let net = NetId(i as u32);
+                for &via in r.vias() {
+                    for dir in Dir::PLANAR {
+                        let fast = feasible_candidate(kind, &dense, r, net, via, dir);
+                        let slow = reference::feasible_candidate_reference(
+                            kind, &refv, r, net, via, dir,
+                        );
+                        prop_assert_eq!(
+                            fast, slow,
+                            "kind {:?} net {:?} via {:?} dir {:?}",
+                            kind, net, via, dir
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -27,7 +27,7 @@ use std::time::Instant;
 use sadp_trace::{Phase, RouteObserver};
 use tpl_decomp::{vias_conflict, welsh_powell, DecompGraph, FvpIndex};
 
-use crate::candidates::DviProblem;
+use crate::candidates::{DviProblem, LocIndex};
 use crate::report::DviOutcome;
 
 /// Weights of the DVI-penalty terms (paper Table II: δ = λ = μ = 1).
@@ -61,7 +61,7 @@ struct HeurState<'p> {
     inserted: Vec<bool>,
     protected: Vec<bool>,
     /// Candidate indices by (via_layer, x, y) of their location.
-    cand_by_loc: HashMap<(u8, i32, i32), Vec<u32>>,
+    cand_by_loc: LocIndex,
 }
 
 impl<'p> HeurState<'p> {
@@ -85,13 +85,7 @@ impl<'p> HeurState<'p> {
             conflict_adj[a as usize].push(b);
             conflict_adj[b as usize].push(a);
         }
-        let mut cand_by_loc: HashMap<(u8, i32, i32), Vec<u32>> = HashMap::new();
-        for (i, c) in problem.candidates().iter().enumerate() {
-            cand_by_loc
-                .entry((c.via_layer, c.loc.0, c.loc.1))
-                .or_default()
-                .push(i as u32);
-        }
+        let cand_by_loc = problem.candidate_loc_index();
         HeurState {
             problem,
             params,
@@ -146,14 +140,12 @@ impl<'p> HeurState<'p> {
         let mut nearby: Vec<u32> = Vec::new();
         for dx in -2..=2 {
             for dy in -2..=2 {
-                if let Some(list) = self.cand_by_loc.get(&(layer, cx + dx, cy + dy)) {
-                    for &o in list {
-                        if o != c
-                            && self.problem.candidates()[o as usize].via_idx != via_idx
-                            && self.is_valid(o)
-                        {
-                            nearby.push(o);
-                        }
+                for o in self.cand_by_loc.at(layer, cx + dx, cy + dy) {
+                    if o != c
+                        && self.problem.candidates()[o as usize].via_idx != via_idx
+                        && self.is_valid(o)
+                    {
+                        nearby.push(o);
                     }
                 }
             }

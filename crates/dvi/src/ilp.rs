@@ -163,40 +163,29 @@ pub fn build_ilp(problem: &DviProblem) -> (Model, IlpMapping) {
 
     // C7: two inserted redundant vias within pitch take different
     // colors. Index candidates by location for the lookup.
-    let mut cands_at: std::collections::HashMap<(u8, i32, i32), Vec<u32>> =
-        std::collections::HashMap::new();
-    for (c, cand) in problem.candidates().iter().enumerate() {
-        cands_at
-            .entry((cand.via_layer, cand.loc.0, cand.loc.1))
-            .or_default()
-            .push(c as u32);
-    }
+    let cands_at = problem.candidate_loc_index();
     for (a, ca) in problem.candidates().iter().enumerate() {
         for dx in -2..=2 {
             for dy in -2..=2 {
                 if !vias_conflict(dx, dy) {
                     continue;
                 }
-                if let Some(list) = cands_at.get(&(ca.via_layer, ca.loc.0 + dx, ca.loc.1 + dy)) {
-                    for &b in list {
-                        if (b as usize) <= a
-                            || ca.via_idx == problem.candidates()[b as usize].via_idx
-                        {
-                            continue;
-                        }
-                        for color in 0..3 {
-                            // oD_a + oD_b + B'(D_a + D_b - 2) <= 1
-                            m.add_constraint(
-                                [
-                                    (cand_vars[a][color + 1], 1),
-                                    (cand_vars[b as usize][color + 1], 1),
-                                    (cand_vars[a][0], BIG_B2),
-                                    (cand_vars[b as usize][0], BIG_B2),
-                                ],
-                                Sense::Le,
-                                1 + 2 * BIG_B2,
-                            );
-                        }
+                for b in cands_at.at(ca.via_layer, ca.loc.0 + dx, ca.loc.1 + dy) {
+                    if (b as usize) <= a || ca.via_idx == problem.candidates()[b as usize].via_idx {
+                        continue;
+                    }
+                    for color in 0..3 {
+                        // oD_a + oD_b + B'(D_a + D_b - 2) <= 1
+                        m.add_constraint(
+                            [
+                                (cand_vars[a][color + 1], 1),
+                                (cand_vars[b as usize][color + 1], 1),
+                                (cand_vars[a][0], BIG_B2),
+                                (cand_vars[b as usize][0], BIG_B2),
+                            ],
+                            Sense::Le,
+                            1 + 2 * BIG_B2,
+                        );
                     }
                 }
             }

@@ -221,7 +221,7 @@ fn find_violations(
         for &(_, p) in &ins {
             idx.add_via(p.0, p.1);
         }
-        for &(ox, oy) in idx.fvp_windows() {
+        for (ox, oy) in idx.fvp_windows() {
             let members: Vec<u32> = ins
                 .iter()
                 .filter(|(_, (x, y))| (ox..ox + 3).contains(x) && (oy..oy + 3).contains(y))

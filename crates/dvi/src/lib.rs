@@ -41,12 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod candidates;
+#[cfg(test)]
+mod diff_tests;
 pub mod heuristic;
 pub mod ilp;
 pub mod ilp_lazy;
 pub mod report;
 
-pub use candidates::{feasible_candidate, Candidate, DviProblem, LayoutView, ProblemVia};
+pub use candidates::{
+    feasible_candidate, Candidate, DviProblem, LayoutView, Occupancy, OwnerIter, ProblemVia,
+};
 pub use heuristic::{
     solve_heuristic, solve_heuristic_improved, solve_heuristic_improved_observed,
     solve_heuristic_observed, DviParams,

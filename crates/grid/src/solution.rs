@@ -97,11 +97,127 @@ impl std::fmt::Display for Via {
     }
 }
 
+/// Bit set in an [`ArmIndex`] mask when a via lands on the point.
+const VIA_BIT: u8 = 1 << 4;
+
+/// The mask bit of a planar arm direction.
+///
+/// The mapping follows `Dir::PLANAR` order (East, West, North, South =
+/// bits 0..=3) so `1 << i` over an enumerate of `Dir::PLANAR` matches.
+#[inline]
+fn dir_bit(d: Dir) -> u8 {
+    match d {
+        Dir::East => 1,
+        Dir::West => 1 << 1,
+        Dir::North => 1 << 2,
+        Dir::South => 1 << 3,
+        _ => 0,
+    }
+}
+
+/// Dense per-route point index: a bounding-box window of per-point
+/// bitmasks (bits 0..=3 = incident planar arm in `Dir::PLANAR` order,
+/// bit 4 = via endpoint).
+///
+/// Built once in [`RoutedNet::new`], it turns `covers` / `arm_dirs`
+/// from edge-list binary searches into a single array read. Routes are
+/// immutable after construction, so the index never goes stale.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ArmIndex {
+    layer0: u8,
+    x0: i32,
+    y0: i32,
+    width: i32,
+    height: i32,
+    layers: u8,
+    mask: Vec<u8>,
+}
+
+impl ArmIndex {
+    /// Builds the index over the bounding box of `covered` (sorted,
+    /// deduplicated covered points of the route).
+    fn build(edges: &[WireEdge], vias: &[Via], covered: &[GridPoint]) -> ArmIndex {
+        let Some(&first) = covered.first() else {
+            return ArmIndex::default();
+        };
+        let (mut l0, mut l1) = (first.layer, first.layer);
+        let (mut x0, mut x1) = (first.x, first.x);
+        let (mut y0, mut y1) = (first.y, first.y);
+        for p in covered {
+            l0 = l0.min(p.layer);
+            l1 = l1.max(p.layer);
+            x0 = x0.min(p.x);
+            x1 = x1.max(p.x);
+            y0 = y0.min(p.y);
+            y1 = y1.max(p.y);
+        }
+        let width = x1 - x0 + 1;
+        let height = y1 - y0 + 1;
+        let layers = l1 - l0 + 1;
+        let mut idx = ArmIndex {
+            layer0: l0,
+            x0,
+            y0,
+            width,
+            height,
+            layers,
+            mask: vec![0; layers as usize * (width * height) as usize],
+        };
+        for e in edges {
+            let [a, b] = e.endpoints();
+            let (da, db) = match e.axis {
+                Axis::Horizontal => (Dir::East, Dir::West),
+                Axis::Vertical => (Dir::North, Dir::South),
+            };
+            idx.set(a, dir_bit(da));
+            idx.set(b, dir_bit(db));
+        }
+        for v in vias {
+            idx.set(v.bottom(), VIA_BIT);
+            idx.set(v.top(), VIA_BIT);
+        }
+        idx
+    }
+
+    #[inline]
+    fn offset(&self, p: GridPoint) -> Option<usize> {
+        let (dx, dy) = (p.x - self.x0, p.y - self.y0);
+        if p.layer < self.layer0
+            || p.layer >= self.layer0 + self.layers
+            || dx < 0
+            || dx >= self.width
+            || dy < 0
+            || dy >= self.height
+        {
+            return None;
+        }
+        let l = (p.layer - self.layer0) as usize;
+        Some((l * self.height as usize + dy as usize) * self.width as usize + dx as usize)
+    }
+
+    #[inline]
+    fn set(&mut self, p: GridPoint, bit: u8) {
+        let o = self.offset(p).expect("covered point inside bounding box");
+        self.mask[o] |= bit;
+    }
+
+    /// The mask at `p`, or 0 for points outside the window.
+    #[inline]
+    fn mask_at(&self, p: GridPoint) -> u8 {
+        match self.offset(p) {
+            Some(o) => self.mask[o],
+            None => 0,
+        }
+    }
+}
+
 /// The route of one net: a set of unit wire edges plus vias.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoutedNet {
     edges: Vec<WireEdge>,
     vias: Vec<Via>,
+    covered: Vec<GridPoint>,
+    index: ArmIndex,
 }
 
 impl RoutedNet {
@@ -113,7 +229,23 @@ impl RoutedNet {
         let mut v: Vec<Via> = vias;
         v.sort_unstable();
         v.dedup();
-        RoutedNet { edges: e, vias: v }
+        let mut covered: Vec<GridPoint> = Vec::with_capacity(e.len() * 2 + v.len() * 2);
+        for edge in &e {
+            covered.extend(edge.endpoints());
+        }
+        for via in &v {
+            covered.push(via.bottom());
+            covered.push(via.top());
+        }
+        covered.sort_unstable();
+        covered.dedup();
+        let index = ArmIndex::build(&e, &v, &covered);
+        RoutedNet {
+            edges: e,
+            vias: v,
+            covered,
+            index,
+        }
     }
 
     /// The wire edges.
@@ -139,32 +271,39 @@ impl RoutedNet {
     /// Every metal grid point covered by this route (wire endpoints
     /// and via landing pads).
     pub fn covered_points(&self) -> HashSet<GridPoint> {
-        let mut pts = HashSet::with_capacity(self.edges.len() * 2 + self.vias.len() * 2);
-        for e in &self.edges {
-            for p in e.endpoints() {
-                pts.insert(p);
-            }
-        }
-        for v in &self.vias {
-            pts.insert(v.bottom());
-            pts.insert(v.top());
-        }
-        pts
+        self.covered.iter().copied().collect()
+    }
+
+    /// The covered points as a sorted slice (precomputed at
+    /// construction; no allocation or hashing).
+    pub fn covered_points_sorted(&self) -> &[GridPoint] {
+        &self.covered
     }
 
     /// The planar directions in which this net's metal extends from
     /// point `p` on `p.layer` (i.e. which incident unit edges exist).
     pub fn arm_dirs(&self, p: GridPoint) -> Vec<Dir> {
+        let mask = self.index.mask_at(p);
         let mut dirs = Vec::new();
-        for d in Dir::PLANAR {
-            let q = p.stepped(d);
-            if let Some(e) = WireEdge::between(p, q) {
-                if self.edges.binary_search(&e).is_ok() {
-                    dirs.push(d);
-                }
+        for (i, d) in Dir::PLANAR.into_iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                dirs.push(d);
             }
         }
         dirs
+    }
+
+    /// The incident-arm bitmask at `p`: bit `i` is set when the route
+    /// has a unit edge from `p` toward `Dir::PLANAR[i]`.
+    #[inline]
+    pub fn arm_mask(&self, p: GridPoint) -> u8 {
+        self.index.mask_at(p) & 0xF
+    }
+
+    /// `true` if the route has a unit edge from `p` toward `d`.
+    #[inline]
+    pub fn has_arm(&self, p: GridPoint, d: Dir) -> bool {
+        self.index.mask_at(p) & dir_bit(d) != 0
     }
 
     /// Enumerates every L-turn of the route: grid points where metal
@@ -175,13 +314,7 @@ impl RoutedNet {
     /// conservative: each pair must be decomposable on its own.
     pub fn turns(&self) -> Vec<(GridPoint, TurnKind)> {
         let mut out = Vec::new();
-        let mut points: HashSet<GridPoint> = HashSet::new();
-        for e in &self.edges {
-            for p in e.endpoints() {
-                points.insert(p);
-            }
-        }
-        for p in points {
+        for &p in &self.covered {
             let arms = self.arm_dirs(p);
             for &h in arms.iter().filter(|d| d.axis() == Some(Axis::Horizontal)) {
                 for &v in arms.iter().filter(|d| d.axis() == Some(Axis::Vertical)) {
@@ -194,17 +327,9 @@ impl RoutedNet {
     }
 
     /// `true` if the net's metal at `p.layer` passes through `p`.
+    #[inline]
     pub fn covers(&self, p: GridPoint) -> bool {
-        for d in Dir::PLANAR {
-            if let Some(e) = WireEdge::between(p, p.stepped(d)) {
-                if self.edges.binary_search(&e).is_ok() {
-                    return true;
-                }
-            }
-        }
-        self.vias
-            .iter()
-            .any(|v| (v.bottom() == p) || (v.top() == p))
+        self.index.mask_at(p) != 0
     }
 }
 

@@ -13,8 +13,6 @@
 //! [`window_is_3colorable_bruteforce`] is the exhaustive reference the
 //! test suite proves them equivalent to (all 512 window patterns).
 
-use std::collections::HashSet;
-
 use crate::conflict::vias_conflict;
 
 /// Side length of the classification window (3×3 grid points).
@@ -97,6 +95,71 @@ pub fn window_is_3colorable_bruteforce(vias: &[(i32, i32)]) -> bool {
     assign(&pts, &mut colors, 0)
 }
 
+/// A flat bitset over grid cells.
+#[derive(Debug, Clone, Default)]
+struct BitGrid {
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    fn new(cells: usize) -> BitGrid {
+        BitGrid {
+            words: vec![0; cells.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    /// Sets bit `i`; returns `true` if it was previously clear.
+    #[inline]
+    fn set(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i >> 6];
+        let m = 1u64 << (i & 63);
+        let was_clear = *w & m == 0;
+        *w |= m;
+        was_clear
+    }
+
+    /// Clears bit `i`; returns `true` if it was previously set.
+    #[inline]
+    fn clear(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i >> 6];
+        let m = 1u64 << (i & 63);
+        let was_set = *w & m != 0;
+        *w &= !m;
+        was_set
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some((wi << 6) | b)
+                }
+            })
+        })
+    }
+}
+
+/// The window origins `(ox, oy)` whose 3×3 area contains `(x, y)` on a
+/// `w × h` grid.
+fn windows_touching(w: i32, h: i32, x: i32, y: i32) -> impl Iterator<Item = (i32, i32)> {
+    let x0 = (x - WINDOW + 1).max(0);
+    let x1 = x.min(w - WINDOW);
+    let y0 = (y - WINDOW + 1).max(0);
+    let y1 = y.min(h - WINDOW);
+    (x0..=x1).flat_map(move |ox| (y0..=y1).map(move |oy| (ox, oy)))
+}
+
 /// An incremental FVP index over one via layer.
 ///
 /// Tracks the set of vias on the layer and the set of 3×3 windows
@@ -104,6 +167,14 @@ pub fn window_is_3colorable_bruteforce(vias: &[(i32, i32)]) -> bool {
 /// at most nine windows (O(1)); the full FVP list is available at any
 /// time, which is exactly what the paper's via-layer TPL violation
 /// removal R&R (Algorithm 2) needs.
+///
+/// Both the via set and the FVP-window set are dense bitsets indexed
+/// in x-major order, so membership tests are single word reads and
+/// iteration yields positions in sorted `(x, y)` order. FVP windows
+/// are additionally tracked in an epoch-stamped dirty list — a
+/// superset of the currently-set origins, with each origin pushed at
+/// most once per epoch — so [`FvpIndex::fvp_windows`] is proportional
+/// to the number of recently-violating windows, not the grid area.
 ///
 /// ```
 /// use tpl_decomp::FvpIndex;
@@ -122,8 +193,16 @@ pub fn window_is_3colorable_bruteforce(vias: &[(i32, i32)]) -> bool {
 pub struct FvpIndex {
     width: i32,
     height: i32,
-    vias: HashSet<(i32, i32)>,
-    fvp: HashSet<(i32, i32)>,
+    vias: BitGrid,
+    fvp: BitGrid,
+    via_count: usize,
+    fvp_count: usize,
+    /// Superset of the set FVP origins; rebuilt when it grows well
+    /// past `fvp_count`.
+    dirty: Vec<(i32, i32)>,
+    /// Per-origin epoch stamp deduplicating `dirty` pushes.
+    stamp: Vec<u32>,
+    epoch: u32,
 }
 
 impl FvpIndex {
@@ -137,42 +216,67 @@ impl FvpIndex {
             width >= WINDOW && height >= WINDOW,
             "grid must be at least {WINDOW}x{WINDOW}"
         );
+        let cells = (width * height) as usize;
         FvpIndex {
             width,
             height,
-            vias: HashSet::new(),
-            fvp: HashSet::new(),
+            vias: BitGrid::new(cells),
+            fvp: BitGrid::new(cells),
+            via_count: 0,
+            fvp_count: 0,
+            dirty: Vec::new(),
+            stamp: vec![u32::MAX; cells],
+            epoch: 0,
         }
+    }
+
+    /// The x-major cell index of `(x, y)` (ascending index order is
+    /// lexicographic `(x, y)` order).
+    #[inline]
+    fn cell(&self, x: i32, y: i32) -> usize {
+        debug_assert!(x >= 0 && x < self.width && y >= 0 && y < self.height);
+        (x * self.height + y) as usize
     }
 
     /// Number of vias currently in the index.
     pub fn via_count(&self) -> usize {
-        self.vias.len()
+        self.via_count
     }
 
     /// `true` if a via is present at `(x, y)`.
     pub fn contains(&self, x: i32, y: i32) -> bool {
-        self.vias.contains(&(x, y))
+        self.vias.get(self.cell(x, y))
     }
 
-    /// Iterates over all vias.
+    /// Iterates over all vias in sorted `(x, y)` order.
     pub fn vias(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
-        self.vias.iter().copied()
+        let h = self.height;
+        self.vias
+            .iter_set()
+            .map(move |i| ((i as i32) / h, (i as i32) % h))
     }
 
-    /// The origins of all windows whose pattern is currently an FVP.
-    pub fn fvp_windows(&self) -> &HashSet<(i32, i32)> {
-        &self.fvp
+    /// The origins of all windows whose pattern is currently an FVP,
+    /// in sorted `(x, y)` order.
+    pub fn fvp_windows(&self) -> Vec<(i32, i32)> {
+        let mut out: Vec<(i32, i32)> = self
+            .dirty
+            .iter()
+            .copied()
+            .filter(|&(ox, oy)| self.fvp.get(self.cell(ox, oy)))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
-    /// The window origins `(ox, oy)` whose 3×3 area contains `(x, y)`.
-    fn windows_touching(&self, x: i32, y: i32) -> impl Iterator<Item = (i32, i32)> {
-        let (w, h) = (self.width, self.height);
-        let x0 = (x - WINDOW + 1).max(0);
-        let x1 = x.min(w - WINDOW);
-        let y0 = (y - WINDOW + 1).max(0);
-        let y1 = y.min(h - WINDOW);
-        (x0..=x1).flat_map(move |ox| (y0..=y1).map(move |oy| (ox, oy)))
+    /// Number of windows whose pattern is currently an FVP.
+    pub fn fvp_window_count(&self) -> usize {
+        self.fvp_count
+    }
+
+    /// `true` if window `(ox, oy)` is currently an FVP.
+    pub fn is_fvp_window(&self, ox: i32, oy: i32) -> bool {
+        self.fvp.get(self.cell(ox, oy))
     }
 
     /// The window-relative via pattern of window `(ox, oy)`.
@@ -180,7 +284,7 @@ impl FvpIndex {
         let mut out = Vec::with_capacity(9);
         for dx in 0..WINDOW {
             for dy in 0..WINDOW {
-                if self.vias.contains(&(ox + dx, oy + dy)) {
+                if self.vias.get(self.cell(ox + dx, oy + dy)) {
                     out.push((dx, dy));
                 }
             }
@@ -189,37 +293,65 @@ impl FvpIndex {
     }
 
     fn refresh_window(&mut self, ox: i32, oy: i32) {
+        let cell = self.cell(ox, oy);
         let pat = self.window_pattern(ox, oy);
         if window_is_fvp(&pat) {
-            self.fvp.insert((ox, oy));
-        } else {
-            self.fvp.remove(&(ox, oy));
+            if self.fvp.set(cell) {
+                self.fvp_count += 1;
+            }
+            if self.stamp[cell] != self.epoch {
+                self.stamp[cell] = self.epoch;
+                self.dirty.push((ox, oy));
+            }
+        } else if self.fvp.clear(cell) {
+            self.fvp_count -= 1;
         }
+    }
+
+    /// Rebuilds the dirty list from the currently-set FVP origins once
+    /// stale entries dominate it.
+    fn maybe_compact_dirty(&mut self) {
+        if self.dirty.len() <= 4 * self.fvp_count + 64 {
+            return;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        let mut live = Vec::with_capacity(self.fvp_count);
+        for i in 0..self.dirty.len() {
+            let (ox, oy) = self.dirty[i];
+            let cell = self.cell(ox, oy);
+            if self.fvp.get(cell) && self.stamp[cell] != self.epoch {
+                self.stamp[cell] = self.epoch;
+                live.push((ox, oy));
+            }
+        }
+        self.dirty = live;
     }
 
     /// Adds a via, updating the affected windows. Returns `false` if a
     /// via was already present there.
     pub fn add_via(&mut self, x: i32, y: i32) -> bool {
-        if !self.vias.insert((x, y)) {
+        if !self.vias.set(self.cell(x, y)) {
             return false;
         }
-        let windows: Vec<_> = self.windows_touching(x, y).collect();
-        for (ox, oy) in windows {
+        self.via_count += 1;
+        for (ox, oy) in windows_touching(self.width, self.height, x, y) {
             self.refresh_window(ox, oy);
         }
+        self.maybe_compact_dirty();
         true
     }
 
     /// Removes a via, updating the affected windows. Returns `false`
     /// if no via was present there.
     pub fn remove_via(&mut self, x: i32, y: i32) -> bool {
-        if !self.vias.remove(&(x, y)) {
+        if !self.vias.clear(self.cell(x, y)) {
             return false;
         }
-        let windows: Vec<_> = self.windows_touching(x, y).collect();
-        for (ox, oy) in windows {
+        self.via_count -= 1;
+        for (ox, oy) in windows_touching(self.width, self.height, x, y) {
             self.refresh_window(ox, oy);
         }
+        self.maybe_compact_dirty();
         true
     }
 
@@ -230,10 +362,11 @@ impl FvpIndex {
     /// heuristic. The position itself may be empty or occupied; an
     /// occupied position trivially returns the current state.
     pub fn would_create_fvp(&self, x: i32, y: i32) -> bool {
-        if self.vias.contains(&(x, y)) {
-            return self.windows_touching(x, y).any(|w| self.fvp.contains(&w));
+        if self.contains(x, y) {
+            return windows_touching(self.width, self.height, x, y)
+                .any(|(ox, oy)| self.fvp.get(self.cell(ox, oy)));
         }
-        for (ox, oy) in self.windows_touching(x, y) {
+        for (ox, oy) in windows_touching(self.width, self.height, x, y) {
             let mut pat = self.window_pattern(ox, oy);
             pat.push((x - ox, y - oy));
             if window_is_fvp(&pat) {

@@ -28,10 +28,10 @@ proptest! {
         }
         // Removing and re-adding the last via restores the windows.
         if let Some((x, y)) = last {
-            let with = idx.fvp_windows().clone();
+            let with = idx.fvp_windows();
             idx.remove_via(x, y);
             idx.add_via(x, y);
-            prop_assert_eq!(&with, idx.fvp_windows());
+            prop_assert_eq!(with, idx.fvp_windows());
         }
     }
 
@@ -62,7 +62,7 @@ proptest! {
         for (x, y) in &pts {
             idx.add_via(*x, *y);
         }
-        for &(ox, oy) in idx.fvp_windows() {
+        for (ox, oy) in idx.fvp_windows() {
             let vias: Vec<(i32, i32)> = idx
                 .vias()
                 .filter(|(x, y)| (ox..ox + 3).contains(x) && (oy..oy + 3).contains(y))
