@@ -7,7 +7,7 @@ use dvi::{
     solve_heuristic_observed, solve_ilp_lazy_observed, DviParams, DviProblem, LazyIlpOptions,
 };
 use sadp_grid::{Netlist, RoutingGrid, SadpKind};
-use sadp_router::{RouterConfig, RoutingSession};
+use sadp_router::{RouteBudget, RouterConfig, RoutingSession};
 use sadp_trace::{merge_reports, JsonReport, NoopObserver, RouteObserver};
 
 /// Which solver computes the post-routing TPL-aware DVI metrics.
@@ -26,6 +26,7 @@ pub enum DviMode {
 /// --seed n         generator seed                     (default 1)
 /// --dvi ilp|heur   post-routing DVI solver            (default heur)
 /// --ilp-limit s    ILP time limit per circuit, secs   (default 600)
+/// --time-budget s  routing wall-clock budget per arm  (default none)
 /// --circuits a,b   subset of circuit names            (default all)
 /// --report path    write a merged per-phase JSON report
 /// ```
@@ -39,6 +40,10 @@ pub struct RunArgs {
     pub dvi_mode: DviMode,
     /// ILP time limit per circuit.
     pub ilp_limit: Duration,
+    /// Routing wall-clock budget per arm; exhaustion yields a partial
+    /// outcome tagged with its [`sadp_router::Termination`] reason
+    /// instead of running to convergence.
+    pub time_budget: Option<Duration>,
     /// Circuit-name filter (`None` = the full suite).
     pub circuits: Option<Vec<String>>,
     /// Path to write the merged per-phase JSON run report to.
@@ -52,6 +57,7 @@ impl Default for RunArgs {
             seed: 1,
             dvi_mode: DviMode::Heuristic,
             ilp_limit: Duration::from_secs(600),
+            time_budget: None,
             circuits: None,
             report: None,
         }
@@ -97,6 +103,12 @@ impl RunArgs {
                         Duration::from_secs(need(i).parse().expect("--ilp-limit takes seconds"));
                     i += 2;
                 }
+                "--time-budget" => {
+                    out.time_budget = Some(Duration::from_secs_f64(
+                        need(i).parse().expect("--time-budget takes seconds"),
+                    ));
+                    i += 2;
+                }
                 "--circuits" => {
                     out.circuits = Some(need(i).split(',').map(|s| s.trim().to_string()).collect());
                     i += 2;
@@ -108,7 +120,8 @@ impl RunArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale f] [--seed n] [--dvi ilp|heur] \
-                         [--ilp-limit secs] [--circuits a,b,...] [--report path]"
+                         [--ilp-limit secs] [--time-budget secs] \
+                         [--circuits a,b,...] [--report path]"
                     );
                     std::process::exit(0);
                 }
@@ -193,7 +206,11 @@ pub fn run_arm_observed(
     args: &RunArgs,
     obs: &mut impl RouteObserver,
 ) -> ArmMetrics {
-    let outcome = RoutingSession::new(&input.grid, &input.netlist, config).run_with(obs);
+    let mut session = RoutingSession::new(&input.grid, &input.netlist, config);
+    if let Some(deadline) = args.time_budget {
+        session.set_budget(RouteBudget::unlimited().with_deadline(deadline));
+    }
+    let outcome = session.run_with(obs);
     let problem = DviProblem::build(config.sadp, &outcome.solution);
     let (dv, uv, dvi_cpu) = match args.dvi_mode {
         DviMode::Heuristic => {

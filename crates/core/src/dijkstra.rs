@@ -77,13 +77,16 @@ where
         .map(|pad| pads[0].manhattan(*pad))
         .collect();
     while !remaining.is_empty() {
-        // Nearest unconnected pad to the tree.
-        let (idx, _) = best_d
+        // Nearest unconnected pad to the tree. The loop condition
+        // keeps `remaining` (and with it `best_d`) non-empty.
+        let Some((idx, _)) = best_d
             .iter()
             .enumerate()
             .map(|(i, &d)| (i, d))
             .min_by_key(|&(i, d)| (d, i))
-            .expect("remaining non-empty");
+        else {
+            break;
+        };
         let target = remaining.swap_remove(idx);
         best_d.swap_remove(idx);
         if tree_points.contains(&target) {
@@ -106,13 +109,16 @@ where
             .collect();
         let mut found = None;
         for margin in [8, 32, i32::MAX / 4] {
-            let window = Window::around(
+            // `span` always holds the target, so the window is never
+            // empty; treat the impossible case as "no path".
+            let Some(window) = Window::around(
                 span.iter().copied(),
                 margin.min(state.grid.width().max(state.grid.height())),
                 state.grid.width(),
                 state.grid.height(),
-            )
-            .expect("span contains the target");
+            ) else {
+                break;
+            };
             found = connect(state, id, &sources, &tree_points, target, window);
             if found.is_some() {
                 break;

@@ -8,24 +8,44 @@
 //! * [`RoutingSession`] — the staged API: `new → initial_route →
 //!   negotiate → tpl_removal → ensure_colorable → finish`. It borrows
 //!   the grid and netlist, takes a [`RouteObserver`] per stage, and
-//!   lets callers inspect or stop the flow between phases.
+//!   lets callers inspect or stop the flow between phases. A
+//!   [`RouteBudget`] installed with [`RoutingSession::set_budget`]
+//!   bounds the work; exhaustion leaves the session in a valid,
+//!   resumable state (install a fresh budget and call the phase
+//!   methods again) and tags the eventual outcome with a
+//!   [`Termination`] reason.
 //! * [`Router`] — the original one-shot wrapper, now a thin shim over
 //!   a session driven with whatever observer is supplied
 //!   ([`Router::run`] uses the zero-overhead [`NoopObserver`]).
+//!
+//! The fallible twins [`RoutingSession::try_new`] and
+//! [`RoutingSession::try_finish`] return structured [`RouteError`]s
+//! instead of panicking: invalid inputs are rejected up front, and a
+//! panic anywhere in the flow (including worker tasks of the coloring
+//! fan-out) is contained and reported as
+//! [`RouteError::TaskPanicked`].
 
 use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use sadp_grid::{NetId, Netlist, RoutingGrid, RoutingSolution, SadpKind, SolutionStats};
+use sadp_grid::{
+    NetId, Netlist, RouteError, RoutingGrid, RoutingSolution, SadpKind, SolutionStats,
+};
 use sadp_trace::{Counter, JsonReport, NoopObserver, Phase, RouteObserver};
 
+use crate::budget::{ActiveBudget, RouteBudget, Termination};
 use crate::costs::CostParams;
 use crate::rnr::{
-    ensure_colorable, initial_routing, negotiate_congestion, tpl_violation_removal, RnrStats,
+    ensure_colorable_budgeted, initial_routing_budgeted, negotiate_congestion_budgeted,
+    tpl_violation_removal_budgeted, CongestionWork, InitialWork, RnrStats, TplWork,
 };
 use crate::search::SearchScratch;
 use crate::state::RouterState;
+
+/// Failpoint name for an injected delay at the start of every phase
+/// activation (used by the chaos tests to force deadline exhaustion).
+const FAILPOINT_SLOW_PHASE: &str = "core.slow_phase";
 
 /// Upper bound accepted for explicit R&R iteration caps (an explicit
 /// cap above this is almost certainly a unit mistake).
@@ -104,6 +124,14 @@ impl fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for RouteError {
+    fn from(e: ConfigError) -> RouteError {
+        RouteError::Config {
+            reason: e.to_string(),
+        }
+    }
+}
 
 /// Fluent, validating builder for [`RouterConfig`].
 ///
@@ -224,34 +252,29 @@ impl RouterConfig {
 
     /// Plain SADP-aware routing (the baseline arm).
     pub fn baseline(sadp: SadpKind) -> RouterConfig {
-        RouterConfig::builder(sadp)
-            .build()
-            .expect("baseline defaults are valid")
+        RouterConfig::builder(sadp).config
     }
 
     /// Baseline + DVI consideration ("Consider DVI").
     pub fn with_dvi(sadp: SadpKind) -> RouterConfig {
-        RouterConfig::builder(sadp)
-            .dvi(true)
-            .build()
-            .expect("with_dvi defaults are valid")
+        let mut config = RouterConfig::builder(sadp).config;
+        config.consider_dvi = true;
+        config
     }
 
     /// Baseline + via-layer TPL ("Consider via layer TPL").
     pub fn with_tpl(sadp: SadpKind) -> RouterConfig {
-        RouterConfig::builder(sadp)
-            .tpl(true)
-            .build()
-            .expect("with_tpl defaults are valid")
+        let mut config = RouterConfig::builder(sadp).config;
+        config.consider_tpl = true;
+        config
     }
 
     /// Both considerations ("Consider DVI & via layer TPL").
     pub fn full(sadp: SadpKind) -> RouterConfig {
-        RouterConfig::builder(sadp)
-            .dvi(true)
-            .tpl(true)
-            .build()
-            .expect("full defaults are valid")
+        let mut config = RouterConfig::builder(sadp).config;
+        config.consider_dvi = true;
+        config.consider_tpl = true;
+        config
     }
 }
 
@@ -262,7 +285,9 @@ pub struct RoutingOutcome {
     pub solution: RoutingSolution,
     /// Wirelength / via / net statistics (WL and #Vias columns).
     pub stats: SolutionStats,
-    /// Every net routed (the paper reports 100% routability).
+    /// Every net routed (the paper reports 100% routability). `false`
+    /// also when a budget stopped the initial-routing phase before it
+    /// attempted every net.
     pub routed_all: bool,
     /// No two nets share a routing resource in the **final** solution.
     /// Recomputed after the last R&R phase: the TPL-removal and
@@ -276,6 +301,11 @@ pub struct RoutingOutcome {
     /// Every via-layer decomposition graph is 3-colorable
     /// (Welsh–Powell / exact verification).
     pub colorable: bool,
+    /// How the run stopped: [`Termination::Converged`] when every
+    /// phase finished its work, otherwise the first phase's budget
+    /// stop reason. A non-converged outcome is still a valid partial
+    /// solution.
+    pub termination: Termination,
     /// Wall-clock routing time (the CPU column).
     pub runtime: Duration,
     /// Congestion-phase counters.
@@ -293,6 +323,8 @@ impl RoutingOutcome {
         report.set_flag("congestion_free", self.congestion_free);
         report.set_flag("fvp_free", self.fvp_free);
         report.set_flag("colorable", self.colorable);
+        report.set_flag("converged", self.termination.is_converged());
+        report.set_note("termination", self.termination.name());
         report.set_metric("wirelength", self.stats.wirelength as i64);
         report.set_metric("vias", self.stats.vias as i64);
         report.set_metric("routed_nets", self.stats.nets as i64);
@@ -305,14 +337,15 @@ impl RoutingOutcome {
     }
 }
 
-/// How far a [`RoutingSession`] has progressed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Stage {
-    New,
-    Routed,
-    Negotiated,
-    TplDone,
-    Colored,
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The staged routing flow: one phase per method, in paper order,
@@ -320,11 +353,22 @@ enum Stage {
 ///
 /// The session **borrows** the grid and netlist — running the four
 /// experiment arms no longer forces a `netlist.clone()` and a grid
-/// rebuild per arm. Stages run at most once; each stage runs any
-/// prerequisite stages that have not run yet, so calling only
-/// [`RoutingSession::finish`] after `new` still produces a complete
-/// run (the compatibility path [`Router::run`] does exactly that via
+/// rebuild per arm. Each stage runs any prerequisite stages that have
+/// not finished yet, so calling only [`RoutingSession::finish`] after
+/// `new` still produces a complete run (the compatibility path
+/// [`Router::run`] does exactly that via
 /// [`RoutingSession::run_with`]).
+///
+/// # Budgets and resumption
+///
+/// [`RoutingSession::set_budget`] bounds subsequent work. A phase
+/// stopped by the budget keeps its pending work; calling the same
+/// phase method again (typically after installing a fresh budget)
+/// continues exactly where it stopped — an interrupted-and-resumed
+/// session walks the same iteration sequence as an uninterrupted one
+/// (except under [`RouteBudget::with_max_expansions`], which can cut
+/// a search mid-net). A phase that already converged is never re-run:
+/// its method returns the cached result.
 ///
 /// ```
 /// use sadp_grid::{Net, Netlist, Pin, RoutingGrid, SadpKind};
@@ -354,13 +398,30 @@ pub struct RoutingSession<'a> {
     state: RouterState,
     scratch: SearchScratch,
     start: Instant,
-    stage: Stage,
+    budget: ActiveBudget,
+    initial_work: InitialWork,
+    initial_term: Option<Termination>,
     failed: Vec<NetId>,
+    congestion_work: CongestionWork,
+    congestion_term: Option<Termination>,
+    /// `true` when the congestion phase needs no further work from the
+    /// pipeline's point of view: it converged, or its *configured*
+    /// iteration cap (not a budget) stopped it — the pre-budget
+    /// behavior lets the flow proceed past a capped-out phase.
+    congestion_done: bool,
     congestion_clean: bool,
     congestion_stats: RnrStats,
+    tpl_work: TplWork,
+    tpl_term: Option<Termination>,
+    tpl_done: bool,
     tpl_clean: bool,
     tpl_stats: RnrStats,
+    coloring_attempts_done: usize,
+    coloring_term: Option<Termination>,
     colorable: Option<bool>,
+    /// A contained worker panic, surfaced by
+    /// [`RoutingSession::try_finish`].
+    fault: Option<RouteError>,
 }
 
 impl<'a> RoutingSession<'a> {
@@ -382,14 +443,50 @@ impl<'a> RoutingSession<'a> {
             state,
             scratch: SearchScratch::new(),
             start: Instant::now(),
-            stage: Stage::New,
+            budget: ActiveBudget::unlimited(),
+            initial_work: InitialWork::default(),
+            initial_term: None,
             failed: Vec::new(),
+            congestion_work: CongestionWork::default(),
+            congestion_term: None,
+            congestion_done: false,
             congestion_clean: false,
             congestion_stats: RnrStats::default(),
+            tpl_work: TplWork::default(),
+            tpl_term: None,
+            tpl_done: false,
             tpl_clean: false,
             tpl_stats: RnrStats::default(),
+            coloring_attempts_done: 0,
+            coloring_term: None,
             colorable: None,
+            fault: None,
         }
+    }
+
+    /// Fallible [`RoutingSession::new`]: validates the grid and the
+    /// netlist against it first, and contains any panic of the state
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidGrid`] / [`RouteError::InvalidNetlist`]
+    /// for rejected inputs; [`RouteError::TaskPanicked`] if state
+    /// construction panicked despite validation.
+    pub fn try_new(
+        grid: &RoutingGrid,
+        netlist: &'a Netlist,
+        config: RouterConfig,
+    ) -> Result<Self, RouteError> {
+        grid.validate()?;
+        netlist.validate(grid)?;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            RoutingSession::new(grid, netlist, config)
+        }))
+        .map_err(|p| RouteError::TaskPanicked {
+            task: 0,
+            message: panic_message(p.as_ref()),
+        })
     }
 
     /// The netlist being routed.
@@ -413,14 +510,47 @@ impl<'a> RoutingSession<'a> {
         &self.state
     }
 
-    /// Congestion-phase counters so far.
+    /// Congestion-phase counters accumulated over every activation so
+    /// far.
     pub fn congestion_stats(&self) -> RnrStats {
         self.congestion_stats
     }
 
-    /// TPL-phase counters so far.
+    /// TPL-phase counters accumulated over every activation so far.
     pub fn tpl_stats(&self) -> RnrStats {
         self.tpl_stats
+    }
+
+    /// Installs (and immediately activates) a resource budget for all
+    /// subsequent work: the deadline counts from this call, the
+    /// expansion cap from the session's cumulative expansion count.
+    /// Replaces any previous budget; `RouteBudget::unlimited()` lifts
+    /// all limits.
+    pub fn set_budget(&mut self, budget: RouteBudget) {
+        self.budget = ActiveBudget::activate(&budget, self.scratch.expanded);
+        self.scratch.set_expansion_stop(self.budget.expansion_stop);
+    }
+
+    /// How the work done so far stopped: the first phase's
+    /// non-converged stop reason, or [`Termination::Converged`].
+    pub fn termination(&self) -> Termination {
+        [
+            self.initial_term,
+            self.congestion_term,
+            self.tpl_term,
+            self.coloring_term,
+        ]
+        .into_iter()
+        .flatten()
+        .find(|t| !t.is_converged())
+        .unwrap_or(Termination::Converged)
+    }
+
+    /// `true` when every phase (through the coloring check) has run
+    /// to completion — i.e. nothing is left for a resumed budget to
+    /// continue.
+    pub fn converged(&self) -> bool {
+        self.coloring_term == Some(Termination::Converged) && self.termination().is_converged()
     }
 
     fn auto_cap(&self, explicit: usize) -> usize {
@@ -431,37 +561,170 @@ impl<'a> RoutingSession<'a> {
         }
     }
 
+    fn initial_done(&self) -> bool {
+        self.initial_term == Some(Termination::Converged)
+    }
+
+    fn run_initial(&mut self, obs: &mut impl RouteObserver) {
+        let limits = self.budget.limits(usize::MAX);
+        obs.phase_start(Phase::InitialRouting);
+        faultinject::maybe_delay(FAILPOINT_SLOW_PHASE);
+        let t = initial_routing_budgeted(
+            &mut self.state,
+            self.netlist,
+            limits,
+            &mut self.initial_work,
+            &mut self.failed,
+            &mut self.scratch,
+            obs,
+        );
+        obs.phase_end(Phase::InitialRouting);
+        self.initial_term = Some(t);
+    }
+
+    fn require_initial(&mut self, obs: &mut impl RouteObserver) {
+        if !self.initial_done() {
+            self.run_initial(obs);
+        }
+    }
+
+    fn run_negotiate(&mut self, obs: &mut impl RouteObserver) {
+        let config_cap = self.auto_cap(self.config.max_congestion_iters);
+        let limits = self.budget.limits(config_cap);
+        obs.phase_start(Phase::CongestionNegotiation);
+        faultinject::maybe_delay(FAILPOINT_SLOW_PHASE);
+        let (clean, stats) = negotiate_congestion_budgeted(
+            &mut self.state,
+            self.netlist,
+            &self.pins,
+            limits,
+            &mut self.congestion_work,
+            &mut self.scratch,
+            obs,
+        );
+        obs.phase_end(Phase::CongestionNegotiation);
+        self.congestion_clean = clean;
+        self.congestion_stats.merge(stats);
+        self.congestion_term = Some(stats.termination);
+        self.congestion_done = stats.termination.is_converged()
+            || (stats.termination == Termination::IterationCap && limits.max_iters >= config_cap);
+    }
+
+    fn require_negotiated(&mut self, obs: &mut impl RouteObserver) {
+        if !self.congestion_done {
+            self.require_initial(obs);
+            if self.initial_done() {
+                self.run_negotiate(obs);
+            }
+        }
+    }
+
+    fn run_tpl(&mut self, obs: &mut impl RouteObserver) {
+        if !self.config.consider_tpl {
+            self.tpl_clean = self.congestion_clean;
+            self.tpl_term = Some(Termination::Converged);
+            self.tpl_done = true;
+            return;
+        }
+        let config_cap = self.auto_cap(self.config.max_tpl_iters);
+        let limits = self.budget.limits(config_cap);
+        obs.phase_start(Phase::TplViolationRemoval);
+        faultinject::maybe_delay(FAILPOINT_SLOW_PHASE);
+        let (clean, stats) = tpl_violation_removal_budgeted(
+            &mut self.state,
+            self.netlist,
+            &self.pins,
+            limits,
+            &mut self.tpl_work,
+            &mut self.scratch,
+            obs,
+        );
+        obs.phase_end(Phase::TplViolationRemoval);
+        self.tpl_clean = clean;
+        self.tpl_stats.merge(stats);
+        self.tpl_term = Some(stats.termination);
+        self.tpl_done = stats.termination.is_converged()
+            || (stats.termination == Termination::IterationCap && limits.max_iters >= config_cap);
+    }
+
+    fn require_tpl(&mut self, obs: &mut impl RouteObserver) {
+        if !self.tpl_done {
+            self.require_negotiated(obs);
+            if self.congestion_done {
+                self.run_tpl(obs);
+            }
+        }
+    }
+
+    fn run_coloring(&mut self, obs: &mut impl RouteObserver) {
+        obs.phase_start(Phase::ColoringFix);
+        faultinject::maybe_delay(FAILPOINT_SLOW_PHASE);
+        if self.config.consider_tpl {
+            let limits = self.budget.limits(usize::MAX);
+            match ensure_colorable_budgeted(
+                &mut self.state,
+                self.netlist,
+                self.config.coloring_attempts,
+                limits,
+                &mut self.coloring_attempts_done,
+                &mut self.scratch,
+                obs,
+            ) {
+                Ok((colorable, t)) => {
+                    if t.is_converged() {
+                        self.colorable = Some(colorable);
+                    }
+                    self.coloring_term = Some(t);
+                }
+                Err(p) => {
+                    // Contain the worker panic: record the fault for
+                    // `try_finish`, report the phase not verified.
+                    self.fault = Some(RouteError::TaskPanicked {
+                        task: p.task,
+                        message: p.message,
+                    });
+                    self.colorable = Some(false);
+                    self.coloring_term = Some(Termination::Converged);
+                }
+            }
+        } else {
+            // Report-only: check colorability without fixing.
+            self.colorable = Some(crate::audit::via_layers_colorable(&self.state));
+            self.coloring_term = Some(Termination::Converged);
+        }
+        obs.phase_end(Phase::ColoringFix);
+    }
+
+    fn require_coloring(&mut self, obs: &mut impl RouteObserver) {
+        if self.coloring_term != Some(Termination::Converged) {
+            self.require_tpl(obs);
+            if self.tpl_done {
+                self.run_coloring(obs);
+            }
+        }
+    }
+
     /// Phase 1 — routes every net once in HPWL order. Returns the
-    /// nets that could not be routed at all (normally empty).
+    /// nets that could not be routed at all (normally empty). When a
+    /// budget stopped a previous activation, calling this again
+    /// continues with the next net.
     pub fn initial_route(&mut self, obs: &mut impl RouteObserver) -> &[NetId] {
-        if self.stage < Stage::Routed {
-            obs.phase_start(Phase::InitialRouting);
-            self.failed = initial_routing(&mut self.state, self.netlist, &mut self.scratch, obs);
-            obs.phase_end(Phase::InitialRouting);
-            self.stage = Stage::Routed;
+        if self.initial_term != Some(Termination::Converged) {
+            self.run_initial(obs);
         }
         &self.failed
     }
 
     /// Phase 2 — negotiated-congestion R&R. Returns
-    /// `(congestion_free, stats)`.
+    /// `(congestion_free, stats)` with the stats accumulated over
+    /// every activation. A budget-stopped activation is resumed by
+    /// calling this again; a converged phase is not re-run.
     pub fn negotiate(&mut self, obs: &mut impl RouteObserver) -> (bool, RnrStats) {
-        if self.stage < Stage::Negotiated {
-            self.initial_route(obs);
-            let cap = self.auto_cap(self.config.max_congestion_iters);
-            obs.phase_start(Phase::CongestionNegotiation);
-            let (clean, stats) = negotiate_congestion(
-                &mut self.state,
-                self.netlist,
-                &self.pins,
-                cap,
-                &mut self.scratch,
-                obs,
-            );
-            obs.phase_end(Phase::CongestionNegotiation);
-            self.congestion_clean = clean;
-            self.congestion_stats = stats;
-            self.stage = Stage::Negotiated;
+        if self.congestion_term != Some(Termination::Converged) {
+            self.require_initial(obs);
+            if self.initial_done() {
+                self.run_negotiate(obs);
+            }
         }
         (self.congestion_clean, self.congestion_stats)
     }
@@ -471,66 +734,73 @@ impl<'a> RoutingSession<'a> {
     /// records the stage as done and returns immediately. Returns
     /// `(clean, stats)` where clean means congestion- and FVP-free.
     pub fn tpl_removal(&mut self, obs: &mut impl RouteObserver) -> (bool, RnrStats) {
-        if self.stage < Stage::TplDone {
-            self.negotiate(obs);
-            if self.config.consider_tpl {
-                let cap = self.auto_cap(self.config.max_tpl_iters);
-                obs.phase_start(Phase::TplViolationRemoval);
-                let (clean, stats) = tpl_violation_removal(
-                    &mut self.state,
-                    self.netlist,
-                    &self.pins,
-                    cap,
-                    &mut self.scratch,
-                    obs,
-                );
-                obs.phase_end(Phase::TplViolationRemoval);
-                self.tpl_clean = clean;
-                self.tpl_stats = stats;
-            } else {
-                self.tpl_clean = self.congestion_clean;
+        if self.tpl_term != Some(Termination::Converged) {
+            self.require_negotiated(obs);
+            if self.congestion_done {
+                self.run_tpl(obs);
             }
-            self.stage = Stage::TplDone;
         }
         (self.tpl_clean, self.tpl_stats)
     }
 
     /// Phase 4 — the final 3-colorability check. With TPL considered
     /// this rips and reroutes nets with uncolorable vias
-    /// (`coloring_attempts` rounds); otherwise it only audits, as in
-    /// the paper's report-only arms. Returns the colorability verdict.
+    /// (`coloring_attempts` rounds across all activations); otherwise
+    /// it only audits, as in the paper's report-only arms. Returns the
+    /// colorability verdict (`false` when the budget stopped the
+    /// check before a verdict was reached — resume to get one).
     pub fn ensure_colorable(&mut self, obs: &mut impl RouteObserver) -> bool {
-        if self.stage < Stage::Colored {
-            self.tpl_removal(obs);
-            obs.phase_start(Phase::ColoringFix);
-            let colorable = if self.config.consider_tpl {
-                ensure_colorable(
-                    &mut self.state,
-                    self.netlist,
-                    self.config.coloring_attempts,
-                    &mut self.scratch,
-                    obs,
-                )
-            } else {
-                // Report-only: check colorability without fixing.
-                crate::audit::via_layers_colorable(&self.state)
-            };
-            obs.phase_end(Phase::ColoringFix);
-            self.colorable = Some(colorable);
-            self.stage = Stage::Colored;
+        if self.coloring_term != Some(Termination::Converged) {
+            self.require_tpl(obs);
+            if self.tpl_done {
+                self.run_coloring(obs);
+            }
         }
-        self.colorable.expect("set when stage advanced")
+        self.colorable.unwrap_or(false)
     }
 
-    /// Finishes the flow: runs any remaining stages, recomputes the
-    /// final quality flags from the **final** router state (see
+    /// Finishes the flow: runs any remaining stages (as far as the
+    /// budget allows), recomputes the final quality flags from the
+    /// **final** router state (see
     /// [`RoutingOutcome::congestion_free`]), and assembles the
     /// outcome. The recomputation is itself observable as a
-    /// [`Phase::Audit`] span.
+    /// [`Phase::Audit`] span. A budget-stopped run yields a valid
+    /// partial outcome tagged with its [`Termination`] reason.
     pub fn finish(mut self, obs: &mut impl RouteObserver) -> RoutingOutcome {
-        self.ensure_colorable(obs);
-        let routed_all = self.failed.is_empty();
-        let colorable = self.colorable.expect("ensure_colorable ran");
+        self.require_coloring(obs);
+        self.into_outcome(obs)
+    }
+
+    /// Panic-contained [`RoutingSession::finish`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::TaskPanicked`] when a worker task of the coloring
+    /// fan-out panicked (recorded during [`ensure_colorable`]
+    /// [`RoutingSession::ensure_colorable`]) or when any phase
+    /// panicked while finishing.
+    pub fn try_finish(self, obs: &mut impl RouteObserver) -> Result<RoutingOutcome, RouteError> {
+        if let Some(f) = &self.fault {
+            return Err(f.clone());
+        }
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut session = self;
+            session.require_coloring(obs);
+            (session.fault.take(), session.into_outcome(obs))
+        }));
+        match run {
+            Ok((Some(fault), _)) => Err(fault),
+            Ok((None, outcome)) => Ok(outcome),
+            Err(p) => Err(RouteError::TaskPanicked {
+                task: 0,
+                message: panic_message(p.as_ref()),
+            }),
+        }
+    }
+
+    fn into_outcome(self, obs: &mut impl RouteObserver) -> RoutingOutcome {
+        let routed_all = self.initial_done() && self.failed.is_empty();
+        let termination = self.termination();
 
         // `congestion_free` and `fvp_free` are recomputed here rather
         // than carried over from phase return values: the TPL-removal
@@ -545,6 +815,12 @@ impl<'a> RoutingSession<'a> {
             .map(|vl| self.state.fvp[vl as usize].fvp_window_count())
             .sum();
         obs.counter(Phase::Audit, Counter::AuditFvpWindows, fvp_windows as i64);
+        // A budget can stop the flow before the coloring check ran:
+        // audit the current state so the flag is still truthful.
+        let colorable = match self.colorable {
+            Some(c) => c,
+            None => crate::audit::via_layers_colorable(&self.state),
+        };
         obs.phase_end(Phase::Audit);
 
         let stats = self.state.solution.stats();
@@ -555,6 +831,7 @@ impl<'a> RoutingSession<'a> {
             congestion_free: congested.is_empty(),
             fvp_free: fvp_windows == 0,
             colorable,
+            termination,
             runtime: self.start.elapsed(),
             congestion_stats: self.congestion_stats,
             tpl_stats: self.tpl_stats,
@@ -573,8 +850,8 @@ impl<'a> RoutingSession<'a> {
 ///
 /// See the crate docs for the flow; construct with a grid, a placed
 /// netlist, and a [`RouterConfig`], then call [`Router::run`]. Callers
-/// that need per-phase observability, borrowing, or stage-by-stage
-/// control should use [`RoutingSession`] directly.
+/// that need per-phase observability, borrowing, budgets, or
+/// stage-by-stage control should use [`RoutingSession`] directly.
 #[derive(Debug)]
 pub struct Router {
     grid: RoutingGrid,
@@ -607,6 +884,17 @@ impl Router {
     /// `obs`.
     pub fn run_observed(self, obs: &mut impl RouteObserver) -> RoutingOutcome {
         RoutingSession::new(&self.grid, &self.netlist, self.config).run_with(obs)
+    }
+
+    /// Fallible [`Router::run`]: validates inputs, contains panics,
+    /// and returns structured [`RouteError`]s.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoutingSession::try_new`] and
+    /// [`RoutingSession::try_finish`].
+    pub fn try_run(self, obs: &mut impl RouteObserver) -> Result<RoutingOutcome, RouteError> {
+        RoutingSession::try_new(&self.grid, &self.netlist, self.config)?.try_finish(obs)
     }
 }
 
@@ -641,6 +929,7 @@ mod tests {
             assert!(out.congestion_free, "{kind}: congested");
             assert!(out.fvp_free, "{kind}: FVPs remain");
             assert!(out.colorable, "{kind}: uncolorable");
+            assert_eq!(out.termination, Termination::Converged);
             assert!(out.stats.wirelength > 0);
             assert!(out.solution.shorts().is_empty());
         }
@@ -694,10 +983,11 @@ mod tests {
         assert_eq!(s.solution().routed_count(), nl.len());
         let first = s.negotiate(&mut obs);
         let again = s.negotiate(&mut obs);
-        assert_eq!(first, again, "re-running a stage is a no-op");
+        assert_eq!(first, again, "re-running a converged stage is a no-op");
         let (clean, _) = s.tpl_removal(&mut obs);
         assert!(clean);
         assert!(s.ensure_colorable(&mut obs));
+        assert!(s.converged());
         let out = s.finish(&mut obs);
         assert!(out.routed_all && out.congestion_free && out.fvp_free);
     }
@@ -878,6 +1168,8 @@ mod tests {
         );
         let err = ConfigError::ColoringAttempts(0);
         assert!(err.to_string().contains("coloring_attempts"));
+        let as_route_error: RouteError = err.into();
+        assert!(matches!(as_route_error, RouteError::Config { .. }));
     }
 
     #[test]
@@ -895,6 +1187,21 @@ mod tests {
     }
 
     #[test]
+    fn arm_shorthands_pass_builder_validation() {
+        // The shorthands skip the builder's validation step; make sure
+        // the defaults they hand out would pass it.
+        for config in [
+            RouterConfig::baseline(SadpKind::Sim),
+            RouterConfig::with_dvi(SadpKind::Sim),
+            RouterConfig::with_tpl(SadpKind::Sid),
+            RouterConfig::full(SadpKind::Sid),
+        ] {
+            let rebuilt = RouterConfigBuilder { config }.build();
+            assert!(rebuilt.is_ok(), "{config:?}");
+        }
+    }
+
+    #[test]
     fn outcome_records_into_report() {
         let out = Router::new(
             RoutingGrid::three_layer(24, 24),
@@ -905,6 +1212,8 @@ mod tests {
         let mut rep = JsonReport::new("unit");
         out.record_into(&mut rep);
         assert_eq!(rep.flag("congestion_free"), Some(true));
+        assert_eq!(rep.flag("converged"), Some(true));
+        assert_eq!(rep.note_value("termination"), Some("converged"));
         assert_eq!(rep.metric("wirelength"), Some(out.stats.wirelength as i64));
         assert!(rep.metric("runtime_ns").unwrap() > 0);
     }
@@ -939,5 +1248,64 @@ mod tests {
         assert!(log.events().iter().all(
             |e| !matches!(e, TraceEvent::Counter(Phase::Audit, Counter::AuditShorts, v) if *v != 0)
         ));
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_netlist() {
+        let grid = RoutingGrid::three_layer(24, 24);
+        let mut nl = Netlist::new();
+        nl.push(Net::new("off", vec![Pin::new(2, 2), Pin::new(999, 2)]));
+        let err = RoutingSession::try_new(&grid, &nl, RouterConfig::full(SadpKind::Sim))
+            .expect_err("out-of-bounds pin must be rejected");
+        assert!(matches!(err, RouteError::InvalidNetlist { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_deadline_yields_partial_outcome_and_resumes() {
+        let grid = RoutingGrid::three_layer(24, 24);
+        let nl = small_netlist();
+        let mut s = RoutingSession::new(&grid, &nl, RouterConfig::full(SadpKind::Sim));
+        s.set_budget(RouteBudget::unlimited().with_deadline(Duration::ZERO));
+        let mut obs = NoopObserver;
+        assert!(!s.initial_route(&mut obs).is_empty() || s.solution().routed_count() == 0);
+        assert_eq!(s.termination(), Termination::Deadline);
+        assert!(!s.converged());
+
+        // Lift the budget: the session continues to a full, clean run.
+        s.set_budget(RouteBudget::unlimited());
+        assert!(s.ensure_colorable(&mut obs));
+        assert!(s.converged());
+        let out = s.finish(&mut obs);
+        assert!(out.routed_all && out.congestion_free && out.colorable);
+        assert_eq!(out.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn budget_stop_is_tagged_in_outcome() {
+        let grid = RoutingGrid::three_layer(24, 24);
+        let nl = small_netlist();
+        let mut s = RoutingSession::new(&grid, &nl, RouterConfig::full(SadpKind::Sim));
+        s.set_budget(RouteBudget::unlimited().with_deadline(Duration::ZERO));
+        let out = s.finish(&mut NoopObserver);
+        assert_eq!(out.termination, Termination::Deadline);
+        assert!(!out.routed_all);
+        let mut rep = JsonReport::new("partial");
+        out.record_into(&mut rep);
+        assert_eq!(rep.flag("converged"), Some(false));
+        assert_eq!(rep.note_value("termination"), Some("deadline"));
+    }
+
+    #[test]
+    fn expansion_cap_stops_the_search() {
+        let grid = RoutingGrid::three_layer(24, 24);
+        let nl = small_netlist();
+        let mut s = RoutingSession::new(&grid, &nl, RouterConfig::full(SadpKind::Sim));
+        s.set_budget(RouteBudget::unlimited().with_max_expansions(1));
+        let mut obs = NoopObserver;
+        s.initial_route(&mut obs);
+        assert_eq!(s.termination(), Termination::ExpansionCap);
+        s.set_budget(RouteBudget::unlimited());
+        assert!(s.initial_route(&mut obs).is_empty());
+        assert!(s.ensure_colorable(&mut obs));
     }
 }

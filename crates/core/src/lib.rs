@@ -34,8 +34,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
+pub mod budget;
 pub mod costs;
 pub mod dijkstra;
 pub mod flow;
@@ -44,8 +46,10 @@ pub mod search;
 pub mod state;
 
 pub use audit::{full_audit, full_audit_observed, mask_audit, FullAudit};
+pub use budget::{PhaseLimits, RouteBudget, Termination};
 pub use costs::CostParams;
 pub use flow::{
     ConfigError, Router, RouterConfig, RouterConfigBuilder, RoutingOutcome, RoutingSession,
 };
+pub use sadp_grid::RouteError;
 pub use search::SearchScratch;

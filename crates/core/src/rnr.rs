@@ -1,6 +1,21 @@
 //! Rip-up and reroute: negotiated congestion (PathFinder-style) and
 //! the via-layer TPL violation removal of Algorithm 2, plus the final
 //! 3-colorability check with R&R fallback.
+//!
+//! Each phase comes in two flavors:
+//!
+//! * the original entry points ([`initial_routing`],
+//!   [`negotiate_congestion`], [`tpl_violation_removal`],
+//!   [`ensure_colorable`]) run one activation with an iteration cap
+//!   and fresh work state — the pre-budget behavior;
+//! * the `_budgeted` variants additionally take [`PhaseLimits`] and a
+//!   persistent work struct ([`InitialWork`] / [`CongestionWork`] /
+//!   [`TplWork`]), check the budget **between** iterations (before
+//!   popping the next violation, so nothing is lost), and leave the
+//!   work struct in a state a later activation resumes from — this is
+//!   what makes `RoutingSession` interruptible: a run stopped between
+//!   iterations and resumed with a fresh budget walks the exact same
+//!   iteration sequence as an uninterrupted run.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
@@ -9,6 +24,7 @@ use sadp_grid::{GridPoint, NetId, Netlist, Via};
 use sadp_trace::{Counter, Phase, RouteObserver};
 use tpl_decomp::{exact_color, welsh_powell, DecompGraph};
 
+use crate::budget::{PhaseLimits, Termination};
 use crate::dijkstra::route_net;
 use crate::search::SearchScratch;
 use crate::state::RouterState;
@@ -22,6 +38,19 @@ pub struct RnrStats {
     pub reroutes: usize,
     /// Reroutes that failed (old route reinstalled).
     pub failures: usize,
+    /// How the phase activation stopped.
+    pub termination: Termination,
+}
+
+impl RnrStats {
+    /// Folds a later activation's counters into an accumulated total;
+    /// the later activation's termination verdict wins.
+    pub fn merge(&mut self, later: RnrStats) {
+        self.iterations += later.iterations;
+        self.reroutes += later.reroutes;
+        self.failures += later.failures;
+        self.termination = later.termination;
+    }
 }
 
 /// Map from pin location to the nets pinned there.
@@ -38,6 +67,22 @@ pub(crate) fn pin_map(netlist: &Netlist) -> HashMap<(i32, i32), Vec<NetId>> {
     map
 }
 
+/// Resumable progress of the initial-routing phase: the HPWL order is
+/// computed once and the cursor advances one net per iteration.
+#[derive(Debug, Clone, Default)]
+pub struct InitialWork {
+    order: Vec<NetId>,
+    pos: usize,
+    seeded: bool,
+}
+
+impl InitialWork {
+    /// `true` when every net has been attempted.
+    pub fn is_done(&self) -> bool {
+        self.seeded && self.pos >= self.order.len()
+    }
+}
+
 /// Routes every net once, in increasing-HPWL order, sharing one
 /// search scratch across all nets. Returns the nets that could not be
 /// routed at all (normally empty).
@@ -47,19 +92,58 @@ pub fn initial_routing(
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
 ) -> Vec<NetId> {
-    let mut order: Vec<NetId> = netlist.iter().map(|(id, _)| id).collect();
-    order.sort_by_key(|&id| (netlist[id].hpwl(), id));
+    let mut work = InitialWork::default();
     let mut failed = Vec::new();
-    for id in order {
+    initial_routing_budgeted(
+        state,
+        netlist,
+        PhaseLimits::unlimited(),
+        &mut work,
+        &mut failed,
+        scratch,
+        obs,
+    );
+    failed
+}
+
+/// Budget-aware, resumable [`initial_routing`]: one iteration = one
+/// net. Unroutable nets are appended to `failed`. Returns how the
+/// activation stopped; on a budget stop, a later call continues with
+/// the next net in the same order.
+pub fn initial_routing_budgeted(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    limits: PhaseLimits,
+    work: &mut InitialWork,
+    failed: &mut Vec<NetId>,
+    scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
+) -> Termination {
+    const PHASE: Phase = Phase::InitialRouting;
+    if !work.seeded {
+        work.order = netlist.iter().map(|(id, _)| id).collect();
+        work.order.sort_by_key(|&id| (netlist[id].hpwl(), id));
+        work.pos = 0;
+        work.seeded = true;
+    }
+    let mut done_here = 0usize;
+    while work.pos < work.order.len() {
+        if let Some(t) = limits.stop_reason(done_here, scratch.expanded) {
+            obs.counter(PHASE, Counter::BudgetStops, 1);
+            return t;
+        }
+        let id = work.order[work.pos];
+        work.pos += 1;
+        done_here += 1;
         match route_net(state, id, &netlist[id], scratch) {
             Some(route) => state.install_route(id, route),
             None => {
-                obs.counter(Phase::InitialRouting, Counter::FailedNets, 1);
+                obs.counter(PHASE, Counter::FailedNets, 1);
                 failed.push(id);
             }
         }
     }
-    failed
+    Termination::Converged
 }
 
 /// Rips and reroutes `id`, reinstalling the old route when no new one
@@ -131,6 +215,15 @@ fn rip_candidate_at(
     }
 }
 
+/// Resumable progress of the congestion-negotiation phase: the
+/// violation queue and the victim-rotation counter survive a budget
+/// stop, so the next activation continues mid-queue.
+#[derive(Debug, Clone, Default)]
+pub struct CongestionWork {
+    queue: VecDeque<GridPoint>,
+    rotation: usize,
+}
+
 /// Negotiated-congestion R&R: resolves shared routing resources until
 /// the solution is overlap-free or the iteration cap is hit.
 ///
@@ -143,18 +236,50 @@ pub fn negotiate_congestion(
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
 ) -> (bool, RnrStats) {
+    negotiate_congestion_budgeted(
+        state,
+        netlist,
+        pins,
+        PhaseLimits::iters_only(max_iters),
+        &mut CongestionWork::default(),
+        scratch,
+        obs,
+    )
+}
+
+/// Budget-aware, resumable [`negotiate_congestion`]. The queue is
+/// (re)seeded from the congested points only when `work` holds no
+/// pending violations — a non-empty queue means a previous activation
+/// was interrupted and is continued verbatim.
+pub fn negotiate_congestion_budgeted(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    limits: PhaseLimits,
+    work: &mut CongestionWork,
+    scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
+) -> (bool, RnrStats) {
     const PHASE: Phase = Phase::CongestionNegotiation;
     let mut stats = RnrStats::default();
-    let mut queue: VecDeque<GridPoint> = state.congested_points().into();
-    let mut rotation = 0usize;
-    while let Some(p) = queue.pop_front() {
-        if stats.iterations >= max_iters {
+    if work.queue.is_empty() {
+        work.queue = state.congested_points().into();
+    }
+    loop {
+        // Budget check *before* the pop: an interrupted activation
+        // leaves the violation in the queue for the resume.
+        if let Some(t) = limits.stop_reason(stats.iterations, scratch.expanded) {
+            stats.termination = t;
+            obs.counter(PHASE, Counter::BudgetStops, 1);
             break;
         }
-        let Some(victim) = rip_candidate_at(state, pins, p, rotation) else {
+        let Some(p) = work.queue.pop_front() else {
+            break;
+        };
+        let Some(victim) = rip_candidate_at(state, pins, p, work.rotation) else {
             continue;
         };
-        rotation += 1;
+        work.rotation += 1;
         stats.iterations += 1;
         obs.counter(PHASE, Counter::Iterations, 1);
         obs.counter(PHASE, Counter::CongestionHits, 1);
@@ -172,12 +297,12 @@ pub fn negotiate_congestion(
         if let Some(route) = state.solution.route(victim) {
             for &q in route.covered_points_sorted() {
                 if state.owners_of(q).len() > 1 {
-                    queue.push_back(q);
+                    work.queue.push_back(q);
                 }
             }
         }
         if state.owners_of(p).len() > 1 {
-            queue.push_back(p);
+            work.queue.push_back(p);
         }
     }
     (state.congested_points().is_empty(), stats)
@@ -202,6 +327,20 @@ impl Violation {
     }
 }
 
+/// Resumable progress of the TPL violation-removal phase: the
+/// priority heap, its tie-break sequence counter, and the rotation
+/// survive a budget stop. `activated` remembers that blocked-via
+/// enforcement was already switched on, so a resume does not re-run
+/// `refresh_all_blocked` mid-phase (that would diverge from an
+/// uninterrupted run).
+#[derive(Debug, Clone, Default)]
+pub struct TplWork {
+    heap: BinaryHeap<Reverse<(u8, u64, Violation)>>,
+    seq: u64,
+    rotation: usize,
+    activated: bool,
+}
+
 /// Via-layer TPL violation removal based R&R (Algorithm 2): blocks
 /// via locations that would create FVPs, then rips and reroutes nets
 /// until all FVPs (and any congestion) are gone.
@@ -216,36 +355,67 @@ pub fn tpl_violation_removal(
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
 ) -> (bool, RnrStats) {
+    tpl_violation_removal_budgeted(
+        state,
+        netlist,
+        pins,
+        PhaseLimits::iters_only(max_iters),
+        &mut TplWork::default(),
+        scratch,
+        obs,
+    )
+}
+
+/// Budget-aware, resumable [`tpl_violation_removal`]. Blocked-via
+/// enforcement is enabled on the first activation only; the heap is
+/// (re)seeded from the current violations only when empty.
+pub fn tpl_violation_removal_budgeted(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    limits: PhaseLimits,
+    work: &mut TplWork,
+    scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
+) -> (bool, RnrStats) {
     const PHASE: Phase = Phase::TplViolationRemoval;
-    state.enforce_blocked = true;
-    state.refresh_all_blocked();
+    if !work.activated {
+        state.enforce_blocked = true;
+        state.refresh_all_blocked();
+        work.activated = true;
+    }
 
     let mut stats = RnrStats::default();
-    let mut seq = 0u64;
-    let mut heap: BinaryHeap<Reverse<(u8, u64, Violation)>> = BinaryHeap::new();
     let push =
         |heap: &mut BinaryHeap<Reverse<(u8, u64, Violation)>>, seq: &mut u64, v: Violation| {
             *seq += 1;
             heap.push(Reverse((v.rank(), *seq, v)));
         };
-    for p in state.congested_points() {
-        push(&mut heap, &mut seq, Violation::Congestion(p));
-    }
-    for vl in 0..state.grid.via_layer_count() {
-        for w in state.fvp[vl as usize].fvp_windows() {
-            push(&mut heap, &mut seq, Violation::Fvp(vl, w));
+    if work.heap.is_empty() {
+        for p in state.congested_points() {
+            push(&mut work.heap, &mut work.seq, Violation::Congestion(p));
+        }
+        for vl in 0..state.grid.via_layer_count() {
+            for w in state.fvp[vl as usize].fvp_windows() {
+                push(&mut work.heap, &mut work.seq, Violation::Fvp(vl, w));
+            }
         }
     }
 
-    let mut rotation = 0usize;
-    while let Some(Reverse((_, _, viol))) = heap.pop() {
-        if stats.iterations >= max_iters {
+    loop {
+        // Budget check *before* the pop (see the congestion phase).
+        if let Some(t) = limits.stop_reason(stats.iterations, scratch.expanded) {
+            stats.termination = t;
+            obs.counter(PHASE, Counter::BudgetStops, 1);
             break;
         }
+        let Some(Reverse((_, _, viol))) = work.heap.pop() else {
+            break;
+        };
         // Stale-entry check and victim selection.
         let victim = match viol {
             Violation::Congestion(p) => {
-                let Some(v) = rip_candidate_at(state, pins, p, rotation) else {
+                let Some(v) = rip_candidate_at(state, pins, p, work.rotation) else {
                     continue;
                 };
                 obs.counter(PHASE, Counter::CongestionHits, 1);
@@ -294,10 +464,10 @@ pub fn tpl_violation_removal(
                     Counter::CostDelta,
                     bumped * state.params.history_step(),
                 );
-                owners[rotation % owners.len()]
+                owners[work.rotation % owners.len()]
             }
         };
-        rotation += 1;
+        work.rotation += 1;
         stats.iterations += 1;
         obs.counter(PHASE, Counter::Iterations, 1);
         if reroute(state, netlist, victim, scratch) {
@@ -311,7 +481,7 @@ pub fn tpl_violation_removal(
         if let Some(route) = state.solution.route(victim).cloned() {
             for &q in route.covered_points_sorted() {
                 if state.owners_of(q).len() > 1 {
-                    push(&mut heap, &mut seq, Violation::Congestion(q));
+                    push(&mut work.heap, &mut work.seq, Violation::Congestion(q));
                 }
             }
             // Only windows whose origin is within Chebyshev distance 2
@@ -323,7 +493,11 @@ pub fn tpl_violation_removal(
                 for wx in (v.x - 2).max(0)..=(v.x + 2).min(gw - 3) {
                     for wy in (v.y - 2).max(0)..=(v.y + 2).min(gh - 3) {
                         if state.fvp[vl].is_fvp_window(wx, wy) {
-                            push(&mut heap, &mut seq, Violation::Fvp(v.below, (wx, wy)));
+                            push(
+                                &mut work.heap,
+                                &mut work.seq,
+                                Violation::Fvp(v.below, (wx, wy)),
+                            );
                         }
                     }
                 }
@@ -333,12 +507,12 @@ pub fn tpl_violation_removal(
         match viol {
             Violation::Congestion(p) => {
                 if state.owners_of(p).len() > 1 {
-                    push(&mut heap, &mut seq, Violation::Congestion(p));
+                    push(&mut work.heap, &mut work.seq, Violation::Congestion(p));
                 }
             }
             Violation::Fvp(vl, w) => {
                 if state.fvp[vl as usize].is_fvp_window(w.0, w.1) {
-                    push(&mut heap, &mut seq, Violation::Fvp(vl, w));
+                    push(&mut work.heap, &mut work.seq, Violation::Fvp(vl, w));
                 }
             }
         }
@@ -355,6 +529,11 @@ pub fn tpl_violation_removal(
 /// ripping and rerouting nets with uncolorable vias when needed.
 ///
 /// Returns `true` when every via layer is 3-colorable.
+///
+/// # Panics
+///
+/// Re-raises a worker-task panic from the per-layer coloring fan-out;
+/// use [`ensure_colorable_budgeted`] for the contained variant.
 pub fn ensure_colorable(
     state: &mut RouterState,
     netlist: &Netlist,
@@ -362,52 +541,93 @@ pub fn ensure_colorable(
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
 ) -> bool {
+    let mut attempts_done = 0usize;
+    match ensure_colorable_budgeted(
+        state,
+        netlist,
+        max_attempts,
+        PhaseLimits::unlimited(),
+        &mut attempts_done,
+        scratch,
+        obs,
+    ) {
+        Ok((colorable, _)) => colorable,
+        Err(p) => panic!("{p}"),
+    }
+}
+
+/// Budget-aware, resumable, panic-contained [`ensure_colorable`].
+///
+/// `attempts_done` persists across activations: the configured
+/// attempt count is spent once per session, not per activation. The
+/// budget is checked between attempts; exhausting it returns a
+/// non-converged [`Termination`] so a later activation continues with
+/// the remaining attempts. A worker panic in the per-layer coloring
+/// fan-out is contained and returned as [`sadp_exec::TaskPanicked`].
+pub fn ensure_colorable_budgeted(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    max_attempts: usize,
+    limits: PhaseLimits,
+    attempts_done: &mut usize,
+    scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
+) -> Result<(bool, Termination), sadp_exec::TaskPanicked> {
     const PHASE: Phase = Phase::ColoringFix;
-    for _ in 0..max_attempts.max(1) {
+    let total = max_attempts.max(1);
+    let mut attempts_here = 0usize;
+    while *attempts_done < total {
+        if let Some(t) = limits.stop_reason(attempts_here, scratch.expanded) {
+            obs.counter(PHASE, Counter::BudgetStops, 1);
+            return Ok((false, t));
+        }
+        *attempts_done += 1;
+        attempts_here += 1;
         obs.counter(PHASE, Counter::ColoringAttempts, 1);
         // Each via layer's coloring check is independent and read-only
         // on the state: fan out per layer and flatten in layer order
         // (vertices sorted within a layer) so the rip-up order is the
         // same for any thread count.
         let state_ref: &RouterState = state;
-        let per_layer = sadp_exec::map_indexed(state_ref.grid.via_layer_count() as usize, |vl| {
-            let positions: Vec<(i32, i32)> = state_ref.fvp[vl].vias().collect();
-            let graph = DecompGraph::from_positions(positions.iter().copied());
-            let greedy = welsh_powell(&graph, 3);
-            if greedy.is_complete() {
-                return Vec::new();
-            }
-            // Greedy can fail on colorable graphs: verify exactly on
-            // the components that contain uncolored vertices.
-            let mut uncol: HashSet<u32> = greedy.uncolorable.iter().copied().collect();
-            for comp in graph.components() {
-                if !comp.iter().any(|v| uncol.contains(v)) {
-                    continue;
+        let per_layer =
+            sadp_exec::try_map_indexed(state_ref.grid.via_layer_count() as usize, |vl| {
+                let positions: Vec<(i32, i32)> = state_ref.fvp[vl].vias().collect();
+                let graph = DecompGraph::from_positions(positions.iter().copied());
+                let greedy = welsh_powell(&graph, 3);
+                if greedy.is_complete() {
+                    return Vec::new();
                 }
-                if comp.len() <= 30 {
-                    let sub = DecompGraph::from_positions(
-                        comp.iter().map(|&v| graph.position(v as usize)),
-                    );
-                    if exact_color(&sub, 3).is_some() {
-                        for v in &comp {
-                            uncol.remove(v);
+                // Greedy can fail on colorable graphs: verify exactly on
+                // the components that contain uncolored vertices.
+                let mut uncol: HashSet<u32> = greedy.uncolorable.iter().copied().collect();
+                for comp in graph.components() {
+                    if !comp.iter().any(|v| uncol.contains(v)) {
+                        continue;
+                    }
+                    if comp.len() <= 30 {
+                        let sub = DecompGraph::from_positions(
+                            comp.iter().map(|&v| graph.position(v as usize)),
+                        );
+                        if exact_color(&sub, 3).is_some() {
+                            for v in &comp {
+                                uncol.remove(v);
+                            }
                         }
                     }
                 }
-            }
-            let mut uncol: Vec<u32> = uncol.into_iter().collect();
-            uncol.sort_unstable();
-            uncol
-                .into_iter()
-                .map(|v| {
-                    let (x, y) = graph.position(v as usize);
-                    Via::new(vl as u8, x, y)
-                })
-                .collect()
-        });
+                let mut uncol: Vec<u32> = uncol.into_iter().collect();
+                uncol.sort_unstable();
+                uncol
+                    .into_iter()
+                    .map(|v| {
+                        let (x, y) = graph.position(v as usize);
+                        Via::new(vl as u8, x, y)
+                    })
+                    .collect()
+            })?;
         let bad_vias: Vec<Via> = per_layer.into_iter().flatten().collect();
         if bad_vias.is_empty() {
-            return true;
+            return Ok((true, Termination::Converged));
         }
         obs.counter(PHASE, Counter::UncolorableVias, bad_vias.len() as i64);
         // Rip the owners of truly-uncolorable vias and retry.
@@ -426,7 +646,7 @@ pub fn ensure_colorable(
             }
         }
         if victims.is_empty() {
-            return false; // only pin vias involved: cannot fix
+            return Ok((false, Termination::Converged)); // only pin vias: cannot fix
         }
         for v in victims {
             obs.counter(PHASE, Counter::Iterations, 1);
@@ -437,7 +657,7 @@ pub fn ensure_colorable(
             }
         }
     }
-    false
+    Ok((false, Termination::Converged))
 }
 
 #[cfg(test)]
@@ -472,6 +692,51 @@ mod tests {
         assert!(failed.is_empty());
         assert_eq!(st.solution.routed_count(), 3);
         assert!(st.solution.connectivity_errors(&nl).is_empty());
+    }
+
+    #[test]
+    fn initial_routing_resumes_across_iteration_caps() {
+        let nets: Vec<Net> = (0..5)
+            .map(|k| {
+                Net::new(
+                    format!("n{k}"),
+                    vec![Pin::new(3, 3 + 3 * k), Pin::new(18, 3 + 3 * k)],
+                )
+            })
+            .collect();
+        let (nl, mut st) = build(nets.clone(), 24, 24);
+        let mut scratch = SearchScratch::new();
+        let mut work = InitialWork::default();
+        let mut failed = Vec::new();
+        // Two nets per activation: 5 nets take three activations.
+        let mut activations = 0;
+        loop {
+            let t = initial_routing_budgeted(
+                &mut st,
+                &nl,
+                PhaseLimits::iters_only(2),
+                &mut work,
+                &mut failed,
+                &mut scratch,
+                &mut NoopObserver,
+            );
+            activations += 1;
+            if t == Termination::Converged {
+                break;
+            }
+            assert_eq!(t, Termination::IterationCap);
+        }
+        assert_eq!(activations, 3);
+        assert!(work.is_done());
+        assert!(failed.is_empty());
+        assert_eq!(st.solution.routed_count(), 5);
+
+        // The resumed run routes the same nets as an uninterrupted one.
+        let (nl2, mut st2) = build(nets, 24, 24);
+        let _ = initial_routing(&mut st2, &nl2, &mut SearchScratch::new(), &mut NoopObserver);
+        for (id, _) in nl2.iter() {
+            assert_eq!(st.solution.route(id), st2.solution.route(id), "{id:?}");
+        }
     }
 
     #[test]
@@ -546,5 +811,75 @@ mod tests {
             &mut scratch,
             &mut NoopObserver
         ));
+    }
+
+    /// An interrupted-and-resumed congestion phase walks the same
+    /// iteration sequence as an uninterrupted one: same final routes,
+    /// same accumulated counters.
+    #[test]
+    fn congestion_negotiation_resume_matches_uninterrupted() {
+        use sadp_grid::RoutedNet;
+
+        let nets: Vec<Net> = (0..6)
+            .map(|k| {
+                Net::new(
+                    format!("n{k}"),
+                    vec![Pin::new(2, 3 + 3 * k), Pin::new(21, 3 + 3 * k)],
+                )
+            })
+            .collect();
+
+        let run = |slice: usize| {
+            let (nl, mut st) = build(nets.clone(), 24, 24);
+            let pins = pin_map(&nl);
+            let mut scratch = SearchScratch::new();
+            initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
+            // The cost-aware initial pass avoids overlaps on an open
+            // grid, so build deterministic congestion by overlaying
+            // three nets onto their neighbors' metal (real reroutes can
+            // do this: sharing is a cost, not a hard block).
+            for k in [0u32, 2, 4] {
+                let donor = st
+                    .solution
+                    .route(NetId(k + 1))
+                    .expect("routed")
+                    .edges()
+                    .to_vec();
+                st.uninstall_route(NetId(k));
+                st.install_route(NetId(k), RoutedNet::new(donor, Vec::new()));
+            }
+            assert!(!st.congested_points().is_empty());
+            let mut work = CongestionWork::default();
+            let mut acc = RnrStats::default();
+            loop {
+                let (_, stats) = negotiate_congestion_budgeted(
+                    &mut st,
+                    &nl,
+                    &pins,
+                    PhaseLimits::iters_only(slice),
+                    &mut work,
+                    &mut scratch,
+                    &mut NoopObserver,
+                );
+                acc.merge(stats);
+                if stats.termination == Termination::Converged {
+                    break;
+                }
+            }
+            let routes: Vec<_> = nl
+                .iter()
+                .map(|(id, _)| st.solution.route(id).cloned())
+                .collect();
+            (routes, acc.iterations, acc.reroutes, acc.failures)
+        };
+
+        let uninterrupted = run(usize::MAX);
+        assert!(
+            uninterrupted.1 >= 3,
+            "instance must need several iterations, got {}",
+            uninterrupted.1
+        );
+        let interrupted = run(1);
+        assert_eq!(uninterrupted, interrupted);
     }
 }

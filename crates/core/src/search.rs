@@ -208,12 +208,24 @@ pub struct SearchScratch {
     pub expanded: u64,
     /// Statistics: searches begun since construction.
     pub searches: u64,
+    /// When set, [`route_connection`] refuses to *start* a search
+    /// once `expanded` has reached this value (the budget's expansion
+    /// cap). Checked only at search entry — never inside the inner
+    /// loop — so the kernel's per-node cost is unchanged.
+    expansion_stop: Option<u64>,
 }
 
 impl SearchScratch {
     /// A scratch with empty buffers (they grow on first use).
     pub fn new() -> SearchScratch {
         SearchScratch::default()
+    }
+
+    /// Installs (or lifts, with `None`) the absolute expansion-count
+    /// stop value: searches no longer start once [`Self::expanded`]
+    /// reaches it.
+    pub fn set_expansion_stop(&mut self, stop: Option<u64>) {
+        self.expansion_stop = stop;
     }
 
     /// Prepares the buffers for one search over `window` ×
@@ -324,6 +336,12 @@ pub fn route_connection(
     if !window.contains(target.x, target.y) {
         return None;
     }
+    if scratch
+        .expansion_stop
+        .is_some_and(|s| scratch.expanded >= s)
+    {
+        return None; // expansion budget exhausted: refuse to search
+    }
     let min_step = params.min_wire_step();
     let min_via = params.min_via_step();
 
@@ -363,7 +381,9 @@ pub fn route_connection(
             if let Some(in_d) = in_dir {
                 if in_d.is_planar() && in_d.axis() != dir.axis() {
                     let arm = in_d.opposite();
-                    let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
+                    let Some(turn) = TurnKind::from_arms(arm, dir) else {
+                        continue; // arms share an axis: not a turn
+                    };
                     match classify_turn(state.kind, p.x, p.y, turn) {
                         TurnClass::Forbidden => continue,
                         TurnClass::NonPreferred => extra += params.turn_penalty(),
@@ -379,7 +399,9 @@ pub fn route_connection(
                         if arm.axis() == dir.axis() {
                             continue;
                         }
-                        let turn = TurnKind::from_arms(arm, dir).expect("perpendicular");
+                        let Some(turn) = TurnKind::from_arms(arm, dir) else {
+                            continue; // arms share an axis: not a turn
+                        };
                         match classify_turn(state.kind, p.x, p.y, turn) {
                             TurnClass::Forbidden => {
                                 ok = false;
@@ -444,10 +466,14 @@ pub fn route_connection(
         if parent_code == PARENT_SOURCE {
             break;
         }
-        let dir = code_dir(in_code).expect("non-source states have an incoming direction");
+        // Non-source states always carry an incoming direction and
+        // adjacent same-layer states always form a wire edge; bail out
+        // of the search (rather than panic) if either invariant is
+        // ever violated.
+        let dir = code_dir(in_code)?;
         let prev = p.stepped(dir.opposite());
         if prev.layer == p.layer {
-            edges.push(WireEdge::between(prev, p).expect("adjacent"));
+            edges.push(WireEdge::between(prev, p)?);
         } else {
             vias.push(Via::new(prev.layer.min(p.layer), p.x, p.y));
         }
@@ -461,6 +487,7 @@ pub fn route_connection(
 /// reference for differential tests and the before/after benchmark
 /// (`reference-search` feature; always available to unit tests).
 #[cfg(any(test, feature = "reference-search"))]
+#[allow(clippy::expect_used)] // kept verbatim as the differential reference
 pub fn route_connection_reference(
     state: &RouterState,
     net: NetId,

@@ -232,12 +232,16 @@ impl LayoutView {
     /// Registers a net's route.
     pub fn add_route(&mut self, id: NetId, route: &RoutedNet) {
         for &p in route.covered_points_sorted() {
-            let slot = self.points.get_mut(p).expect("route point inside grid");
+            let Some(slot) = self.points.get_mut(p) else {
+                continue; // point outside the grid: nothing to track
+            };
             slot_add(slot, &mut self.point_spill, &mut self.point_free, p, id);
         }
         for v in route.vias() {
             let p = GridPoint::new(v.below, v.x, v.y);
-            let slot = self.vias.get_mut(p).expect("via inside grid");
+            let Some(slot) = self.vias.get_mut(p) else {
+                continue;
+            };
             slot_add(
                 slot,
                 &mut self.via_spill,
@@ -251,12 +255,16 @@ impl LayoutView {
     /// Unregisters a net's route (must mirror a prior `add_route`).
     pub fn remove_route(&mut self, id: NetId, route: &RoutedNet) {
         for &p in route.covered_points_sorted() {
-            let slot = self.points.get_mut(p).expect("route point inside grid");
+            let Some(slot) = self.points.get_mut(p) else {
+                continue; // must mirror add_route, which also skipped it
+            };
             slot_remove(slot, &mut self.point_spill, &mut self.point_free, id);
         }
         for v in route.vias() {
             let p = GridPoint::new(v.below, v.x, v.y);
-            let slot = self.vias.get_mut(p).expect("via inside grid");
+            let Some(slot) = self.vias.get_mut(p) else {
+                continue;
+            };
             slot_remove(slot, &mut self.via_spill, &mut self.via_free, id);
         }
     }
@@ -383,6 +391,18 @@ pub struct DviProblem {
 }
 
 impl DviProblem {
+    /// Validating variant of [`DviProblem::build`]: rejects a solution
+    /// whose routes or vias fall outside the grid (or otherwise fail
+    /// [`RoutingSolution::validate`]) with a structured error instead
+    /// of building a problem over inconsistent geometry.
+    pub fn try_build(
+        kind: SadpKind,
+        solution: &RoutingSolution,
+    ) -> Result<DviProblem, sadp_grid::RouteError> {
+        solution.validate()?;
+        Ok(DviProblem::build(kind, solution))
+    }
+
     /// Extracts the DVI problem from a routing solution: enumerates
     /// all single vias, their feasible DVICs, and candidate conflicts.
     ///
@@ -559,7 +579,7 @@ pub fn feasible_candidate<V: Occupancy>(
                 }
             }
         }
-        stubs.push(WireEdge::between(p, s).expect("unit step"));
+        stubs.push(WireEdge::between(p, s)?);
     }
     Some(Candidate {
         via_idx: u32::MAX, // patched by the caller
@@ -601,10 +621,10 @@ impl LocIndex {
     /// Prepends `entry` to the chain of `(layer, x, y)`. Each entry id
     /// may be inserted at most once across all cells.
     pub(crate) fn insert(&mut self, layer: u8, x: i32, y: i32, entry: u32) {
-        let head = self
-            .head
-            .get_mut(GridPoint::new(layer, x, y))
-            .expect("location inside grid");
+        let Some(head) = self.head.get_mut(GridPoint::new(layer, x, y)) else {
+            debug_assert!(false, "LocIndex insertion outside the grid");
+            return;
+        };
         debug_assert_eq!(self.next[entry as usize], LOC_NONE);
         self.next[entry as usize] = *head;
         *head = entry;
@@ -925,7 +945,7 @@ pub mod reference {
         for layer in [via.below, via.below + 1] {
             let p = GridPoint::new(layer, via.x, via.y);
             let s = GridPoint::new(layer, lx, ly);
-            let edge = WireEdge::between(p, s).expect("unit step");
+            let edge = WireEdge::between(p, s)?;
             if route.edges().binary_search(&edge).is_ok() {
                 continue;
             }

@@ -151,7 +151,9 @@ impl<'p> HeurState<'p> {
             }
         }
         // Simulate the insertion.
-        let idx = self.fvp.get_mut(&layer).expect("layer index");
+        let Some(idx) = self.fvp.get_mut(&layer) else {
+            return 0; // candidate on an unknown layer: no FVP impact
+        };
         idx.add_via(cx, cy);
         let mut killed = 0i64;
         for &o in &nearby {
@@ -160,10 +162,9 @@ impl<'p> HeurState<'p> {
                 killed += 1;
             }
         }
-        self.fvp
-            .get_mut(&layer)
-            .expect("layer index")
-            .remove_via(cx, cy);
+        if let Some(idx) = self.fvp.get_mut(&layer) {
+            idx.remove_via(cx, cy);
+        }
         killed
     }
 
@@ -178,19 +179,17 @@ impl<'p> HeurState<'p> {
         let cand = &self.problem.candidates()[c as usize];
         self.inserted[c as usize] = true;
         self.protected[cand.via_idx as usize] = true;
-        self.fvp
-            .get_mut(&cand.via_layer)
-            .expect("layer index")
-            .add_via(cand.loc.0, cand.loc.1);
+        if let Some(idx) = self.fvp.get_mut(&cand.via_layer) {
+            idx.add_via(cand.loc.0, cand.loc.1);
+        }
     }
 
     fn uninsert(&mut self, c: u32) {
         let cand = &self.problem.candidates()[c as usize];
         self.inserted[c as usize] = false;
-        self.fvp
-            .get_mut(&cand.via_layer)
-            .expect("layer index")
-            .remove_via(cand.loc.0, cand.loc.1);
+        if let Some(idx) = self.fvp.get_mut(&cand.via_layer) {
+            idx.remove_via(cand.loc.0, cand.loc.1);
+        }
     }
 }
 
@@ -438,11 +437,10 @@ fn one_swap_pass(
                 match alt {
                     Some(a) => {
                         state.insert(a);
-                        let pos = insertion_order
-                            .iter()
-                            .position(|&x| x == b)
-                            .expect("blocker was inserted");
-                        insertion_order[pos] = a;
+                        match insertion_order.iter().position(|&x| x == b) {
+                            Some(pos) => insertion_order[pos] = a,
+                            None => insertion_order.push(a),
+                        }
                         insertion_order.push(c);
                         improved = true;
                         break 'candidates;

@@ -39,6 +39,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod candidates;
 #[cfg(test)]
@@ -47,6 +48,7 @@ pub mod heuristic;
 pub mod ilp;
 pub mod ilp_lazy;
 pub mod report;
+pub mod resilient;
 
 pub use candidates::{
     feasible_candidate, Candidate, DviProblem, LayoutView, Occupancy, OwnerIter, ProblemVia,
@@ -58,3 +60,4 @@ pub use heuristic::{
 pub use ilp::{build_ilp, solve_ilp, solve_ilp_observed, IlpMapping};
 pub use ilp_lazy::{solve_ilp_lazy, solve_ilp_lazy_observed, LazyIlpOptions, LazyStats};
 pub use report::DviOutcome;
+pub use resilient::{solve_resilient, DviSolver, ResilientDviOptions, ResilientDviResult};

@@ -1,0 +1,300 @@
+//! Budget-guarded DVI solving with graceful degradation.
+//!
+//! The ILP solvers are the optimality references, but on a wall-clock
+//! budget they can time out without a proven-optimal solution — and a
+//! solver bug (or an injected fault) must never take the whole
+//! routing session down. [`solve_resilient`] wraps the chosen solver
+//! so that:
+//!
+//! * a panic inside the solver is contained;
+//! * a time-limited ILP that could not prove optimality, and the
+//!   `dvi.solver_abort` failpoint, *degrade* to the improved
+//!   heuristic (Algorithm 3 + 1-swap) instead of failing;
+//! * which solver actually produced the result — and why a fallback
+//!   happened — is recorded on the observer as the `dvi_solver` /
+//!   `dvi_fallback` notes, so a run report shows the substitution.
+//!
+//! Only when the heuristic fallback itself fails does the call return
+//! a structured [`RouteError::Solver`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use sadp_grid::RouteError;
+use sadp_trace::{Phase, RouteObserver};
+
+use crate::candidates::DviProblem;
+use crate::heuristic::{solve_heuristic_improved, DviParams};
+use crate::ilp::{solve_ilp, IlpOptions};
+use crate::ilp_lazy::{solve_ilp_lazy, LazyIlpOptions};
+use crate::report::DviOutcome;
+
+/// Failpoint name: when armed, the chosen ILP solver "aborts" and the
+/// call degrades to the heuristic.
+const FAILPOINT_SOLVER_ABORT: &str = "dvi.solver_abort";
+
+/// Which DVI solver to run (or which one produced a result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DviSolver {
+    /// The monolithic C1–C8 ILP ([`solve_ilp`]).
+    Ilp,
+    /// The lazy-cut ILP decomposition ([`solve_ilp_lazy`]).
+    IlpLazy,
+    /// The improved priority-queue heuristic
+    /// ([`solve_heuristic_improved`]).
+    Heuristic,
+}
+
+impl DviSolver {
+    /// Stable lowercase name used in reports and notes.
+    pub fn name(self) -> &'static str {
+        match self {
+            DviSolver::Ilp => "ilp",
+            DviSolver::IlpLazy => "ilp_lazy",
+            DviSolver::Heuristic => "heuristic",
+        }
+    }
+}
+
+impl std::fmt::Display for DviSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Options for [`solve_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilientDviOptions {
+    /// Preferred solver. [`DviSolver::Heuristic`] runs directly (it
+    /// cannot time out).
+    pub solver: DviSolver,
+    /// Wall-clock budget handed to an ILP solver. An ILP that exhausts
+    /// it without a proven-optimal solution degrades to the heuristic.
+    pub time_limit: Option<Duration>,
+    /// Parameters for the heuristic (both as the preferred solver and
+    /// as the fallback).
+    pub params: DviParams,
+}
+
+impl Default for ResilientDviOptions {
+    fn default() -> Self {
+        ResilientDviOptions {
+            solver: DviSolver::IlpLazy,
+            time_limit: None,
+            params: DviParams::default(),
+        }
+    }
+}
+
+/// What [`solve_resilient`] produced and how.
+#[derive(Debug, Clone)]
+pub struct ResilientDviResult {
+    /// The DVI outcome (from the preferred solver or the fallback).
+    pub outcome: DviOutcome,
+    /// The solver that actually produced `outcome`.
+    pub solver_used: DviSolver,
+    /// Why the preferred solver was substituted, when it was.
+    pub fallback_reason: Option<String>,
+}
+
+impl ResilientDviResult {
+    /// `true` when the preferred solver was substituted.
+    pub fn degraded(&self) -> bool {
+        self.fallback_reason.is_some()
+    }
+}
+
+/// Runs a preferred solver outcome-or-reason: `Ok` is the outcome,
+/// `Err` the human-readable reason the fallback must take over.
+fn run_preferred(
+    problem: &DviProblem,
+    options: &ResilientDviOptions,
+) -> Result<DviOutcome, String> {
+    if faultinject::should_fail(FAILPOINT_SOLVER_ABORT) {
+        return Err(format!("fault injected: {FAILPOINT_SOLVER_ABORT}"));
+    }
+    match options.solver {
+        DviSolver::Heuristic => {
+            // Not a fallback: the caller asked for the heuristic.
+            catch_unwind(AssertUnwindSafe(|| {
+                solve_heuristic_improved(problem, &options.params)
+            }))
+            .map_err(|p| format!("heuristic solver panicked: {}", panic_text(p.as_ref())))
+        }
+        DviSolver::Ilp => {
+            let ilp_options = IlpOptions {
+                time_limit: options.time_limit,
+                warm_start: true,
+            };
+            let run = catch_unwind(AssertUnwindSafe(|| solve_ilp(problem, &ilp_options)))
+                .map_err(|p| format!("ilp solver panicked: {}", panic_text(p.as_ref())))?;
+            let (outcome, solution) = run;
+            if solution.is_optimal() {
+                Ok(outcome)
+            } else {
+                Err("ilp time limit exhausted without proven optimum".to_string())
+            }
+        }
+        DviSolver::IlpLazy => {
+            let lazy_options = LazyIlpOptions {
+                time_limit: options.time_limit,
+                ..LazyIlpOptions::default()
+            };
+            let run = catch_unwind(AssertUnwindSafe(|| solve_ilp_lazy(problem, &lazy_options)))
+                .map_err(|p| format!("lazy ilp solver panicked: {}", panic_text(p.as_ref())))?;
+            let (outcome, stats) = run;
+            if stats.proven_optimal {
+                Ok(outcome)
+            } else {
+                Err("lazy ilp budget exhausted without proven optimum".to_string())
+            }
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Solves TPL-aware DVI with the preferred solver, degrading to
+/// [`solve_heuristic_improved`] when the preferred solver panics,
+/// exhausts its time budget without a proven optimum, or is aborted
+/// by the `dvi.solver_abort` failpoint.
+///
+/// Runs inside a [`Phase::Dvi`] observer span; the producing solver is
+/// recorded as the `dvi_solver` note and, on degradation, the cause as
+/// the `dvi_fallback` note.
+///
+/// # Errors
+///
+/// [`RouteError::Solver`] only when the heuristic fallback itself
+/// panics — there is no further fallback.
+pub fn solve_resilient(
+    problem: &DviProblem,
+    options: &ResilientDviOptions,
+    obs: &mut impl RouteObserver,
+) -> Result<ResilientDviResult, RouteError> {
+    obs.phase_start(Phase::Dvi);
+    let result = match run_preferred(problem, options) {
+        Ok(outcome) => Ok(ResilientDviResult {
+            outcome,
+            solver_used: options.solver,
+            fallback_reason: None,
+        }),
+        Err(reason) if options.solver == DviSolver::Heuristic => {
+            // The heuristic has no fallback.
+            Err(RouteError::Solver {
+                solver: DviSolver::Heuristic.name().to_string(),
+                reason,
+            })
+        }
+        Err(reason) => catch_unwind(AssertUnwindSafe(|| {
+            solve_heuristic_improved(problem, &options.params)
+        }))
+        .map(|outcome| ResilientDviResult {
+            outcome,
+            solver_used: DviSolver::Heuristic,
+            fallback_reason: Some(reason),
+        })
+        .map_err(|p| RouteError::Solver {
+            solver: DviSolver::Heuristic.name().to_string(),
+            reason: format!("fallback heuristic panicked: {}", panic_text(p.as_ref())),
+        }),
+    };
+    if let Ok(r) = &result {
+        obs.note("dvi_solver", r.solver_used.name());
+        if let Some(reason) = &r.fallback_reason {
+            obs.note("dvi_fallback", reason);
+        }
+        r.outcome.emit_counters(obs);
+    }
+    obs.phase_end(Phase::Dvi);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_grid::{
+        Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via,
+        WireEdge,
+    };
+    use sadp_trace::{JsonReport, NoopObserver};
+
+    fn tiny_problem() -> DviProblem {
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(2, 2), Pin::new(5, 2)]));
+        let mut sol = RoutingSolution::new(RoutingGrid::three_layer(16, 16), &nl);
+        sol.set_route(
+            NetId(0),
+            RoutedNet::new(
+                vec![
+                    WireEdge::new(1, 2, 2, Axis::Horizontal),
+                    WireEdge::new(1, 3, 2, Axis::Horizontal),
+                    WireEdge::new(1, 4, 2, Axis::Horizontal),
+                ],
+                vec![Via::new(0, 2, 2), Via::new(0, 5, 2)],
+            ),
+        );
+        DviProblem::build(SadpKind::Sim, &sol)
+    }
+
+    #[test]
+    fn preferred_solver_is_reported_without_fallback() {
+        let problem = tiny_problem();
+        for solver in [DviSolver::Ilp, DviSolver::IlpLazy, DviSolver::Heuristic] {
+            let options = ResilientDviOptions {
+                solver,
+                ..ResilientDviOptions::default()
+            };
+            let r = solve_resilient(&problem, &options, &mut NoopObserver)
+                .unwrap_or_else(|e| panic!("{solver}: {e}"));
+            assert_eq!(r.solver_used, solver);
+            assert!(!r.degraded());
+        }
+    }
+
+    #[test]
+    fn zero_time_limit_degrades_to_heuristic_and_notes_it() {
+        let problem = tiny_problem();
+        let options = ResilientDviOptions {
+            solver: DviSolver::IlpLazy,
+            time_limit: Some(Duration::ZERO),
+            ..ResilientDviOptions::default()
+        };
+        let mut report = JsonReport::new("dvi");
+        let r = solve_resilient(&problem, &options, &mut report).expect("fallback must succeed");
+        assert_eq!(r.solver_used, DviSolver::Heuristic);
+        assert!(r.degraded());
+        assert_eq!(report.note_value("dvi_solver"), Some("heuristic"));
+        assert!(report.note_value("dvi_fallback").is_some());
+        // The fallback still solves the instance.
+        assert_eq!(r.outcome.inserted_count(), 2);
+    }
+
+    #[test]
+    fn heuristic_matches_direct_call() {
+        let problem = tiny_problem();
+        let direct = solve_heuristic_improved(&problem, &DviParams::default());
+        let options = ResilientDviOptions {
+            solver: DviSolver::Heuristic,
+            ..ResilientDviOptions::default()
+        };
+        let r = solve_resilient(&problem, &options, &mut NoopObserver).expect("heuristic runs");
+        assert_eq!(r.outcome.inserted, direct.inserted);
+        assert_eq!(r.outcome.uncolorable_count, direct.uncolorable_count);
+    }
+
+    #[test]
+    fn solver_names_are_stable() {
+        assert_eq!(DviSolver::Ilp.name(), "ilp");
+        assert_eq!(DviSolver::IlpLazy.to_string(), "ilp_lazy");
+        assert_eq!(DviSolver::Heuristic.name(), "heuristic");
+    }
+}

@@ -37,11 +37,50 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// The environment variable overriding the pool width
 /// (`1` = serial inline execution; unset/invalid = machine default).
 pub const THREADS_ENV: &str = "SADP_EXEC_THREADS";
+
+/// The fault-injection failpoint hit once per pool task (see the
+/// `faultinject` crate): when armed, the task panics. [`map_indexed`] /
+/// [`map`] propagate that panic; [`try_map_indexed`] / [`try_map`]
+/// contain it as a [`TaskPanicked`] error.
+pub const FAILPOINT_TASK_PANIC: &str = "exec.task_panic";
+
+/// A worker task panicked inside [`try_map_indexed`] / [`try_map`].
+///
+/// Carries the lowest panicking task index and the panic payload
+/// rendered to a string (`&str` / `String` payloads verbatim,
+/// anything else as a placeholder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanicked {
+    /// The lowest task index whose closure panicked.
+    pub task: usize,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanicked {}
+
+/// Renders a caught panic payload to a human-readable string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 thread_local! {
     /// Scoped override installed by [`with_threads`].
@@ -101,11 +140,15 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let g = |i: usize| {
+        faultinject::maybe_panic(FAILPOINT_TASK_PANIC);
+        f(i)
+    };
     let threads = thread_count().min(tasks);
     if threads <= 1 || in_worker() {
-        return (0..tasks).map(f).collect();
+        return (0..tasks).map(g).collect();
     }
-    run_pool(tasks, threads, &f)
+    run_pool(tasks, threads, &g)
 }
 
 /// Applies `f` to every element of `items`, returning results in item
@@ -117,6 +160,52 @@ where
     F: Fn(&T) -> R + Sync,
 {
     map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Panic-containing variant of [`map_indexed`]: each task runs under
+/// `catch_unwind`, and a panicking task yields
+/// `Err(`[`TaskPanicked`]`)` for the *lowest* panicking index instead
+/// of unwinding through the caller. All other tasks still run to
+/// completion (the pool never cancels), so the wall clock matches the
+/// panic-free run.
+///
+/// `f` must leave any shared state it touches consistent on panic
+/// (tasks here are pure index→value functions, per the determinism
+/// rule, so this holds trivially for intended uses).
+pub fn try_map_indexed<R, F>(tasks: usize, f: F) -> Result<Vec<R>, TaskPanicked>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let g = |i: usize| -> Result<R, TaskPanicked> {
+        catch_unwind(AssertUnwindSafe(|| {
+            faultinject::maybe_panic(FAILPOINT_TASK_PANIC);
+            f(i)
+        }))
+        .map_err(|payload| TaskPanicked {
+            task: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
+    let threads = thread_count().min(tasks);
+    let results: Vec<Result<R, TaskPanicked>> = if threads <= 1 || in_worker() {
+        (0..tasks).map(g).collect()
+    } else {
+        run_pool(tasks, threads, &g)
+    };
+    // Results are already in task-index order, so `collect` surfaces
+    // the lowest panicking index deterministically.
+    results.into_iter().collect()
+}
+
+/// Slice-convenience form of [`try_map_indexed`].
+pub fn try_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, TaskPanicked>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_map_indexed(items.len(), |i| f(&items[i]))
 }
 
 /// The parallel path: chunked per-worker deques with ring-order
@@ -291,6 +380,38 @@ mod tests {
         std::env::remove_var(THREADS_ENV);
         assert!(thread_count() >= 1);
     }
+
+    #[test]
+    fn try_map_contains_panics_and_reports_lowest_index() {
+        for threads in [1, 4] {
+            let err = with_threads(threads, || {
+                try_map_indexed(32, |i| {
+                    if i == 13 || i == 21 {
+                        panic!("task {i} exploded");
+                    }
+                    i
+                })
+            })
+            .unwrap_err();
+            assert_eq!(err.task, 13, "threads={threads}");
+            assert_eq!(err.message, "task 13 exploded");
+            assert!(err.to_string().contains("task 13 panicked"));
+        }
+    }
+
+    #[test]
+    fn try_map_matches_map_when_nothing_panics() {
+        let ok = with_threads(4, || try_map_indexed(100, |i| i * 7)).unwrap();
+        assert_eq!(ok, (0..100).map(|i| i * 7).collect::<Vec<_>>());
+        let items: Vec<i32> = (0..20).collect();
+        let out = with_threads(4, || try_map(&items, |&x| x + 1)).unwrap();
+        assert_eq!(out, (1..21).collect::<Vec<_>>());
+    }
+
+    // Injected `exec.task_panic` faults are exercised by the
+    // root-level chaos suite (`tests/chaos.rs`): faultinject arming is
+    // process-global and would race the other parallel unit tests in
+    // this binary, which all hit the same failpoint via map_indexed.
 
     #[test]
     #[should_panic(expected = "task 13 exploded")]

@@ -301,13 +301,15 @@ impl TurnKind {
             (Axis::Vertical, Axis::Horizontal) => (b, a),
             _ => return None,
         };
-        Some(match (h, v) {
-            (Dir::East, Dir::North) => TurnKind::EastNorth,
-            (Dir::East, Dir::South) => TurnKind::EastSouth,
-            (Dir::West, Dir::North) => TurnKind::WestNorth,
-            (Dir::West, Dir::South) => TurnKind::WestSouth,
-            _ => unreachable!("axes already checked"),
-        })
+        match (h, v) {
+            (Dir::East, Dir::North) => Some(TurnKind::EastNorth),
+            (Dir::East, Dir::South) => Some(TurnKind::EastSouth),
+            (Dir::West, Dir::North) => Some(TurnKind::WestNorth),
+            (Dir::West, Dir::South) => Some(TurnKind::WestSouth),
+            // Unreachable: (h, v) is (Horizontal, Vertical) by the
+            // axis match above. None keeps the function total.
+            _ => None,
+        }
     }
 
     /// The horizontal arm direction.

@@ -101,6 +101,59 @@ impl RoutingGrid {
         }
     }
 
+    /// Non-panicking variant of [`RoutingGrid::new`]: additionally
+    /// requires at least one routing layer (so
+    /// [`RoutingGrid::first_routing_layer`] is meaningful).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidGrid`](crate::RouteError::InvalidGrid).
+    pub fn try_new(
+        width: i32,
+        height: i32,
+        layers: Vec<LayerRole>,
+    ) -> Result<RoutingGrid, crate::RouteError> {
+        let invalid = |reason: &str| crate::RouteError::InvalidGrid {
+            reason: reason.to_string(),
+        };
+        if width <= 0 || height <= 0 {
+            return Err(invalid("grid dimensions must be positive"));
+        }
+        if layers.len() < 2 {
+            return Err(invalid("need at least two metal layers"));
+        }
+        if layers.len() > u8::MAX as usize {
+            return Err(invalid("too many layers"));
+        }
+        let grid = RoutingGrid {
+            width,
+            height,
+            layers,
+        };
+        grid.validate()?;
+        Ok(grid)
+    }
+
+    /// Checks the structural invariants not enforced by
+    /// [`RoutingGrid::new`]'s assertions: at least one layer must be a
+    /// routing layer.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidGrid`](crate::RouteError::InvalidGrid).
+    pub fn validate(&self) -> Result<(), crate::RouteError> {
+        if !self
+            .layers
+            .iter()
+            .any(|r| matches!(r, LayerRole::Routing(_)))
+        {
+            return Err(crate::RouteError::InvalidGrid {
+                reason: "no routing layer in the stack".to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// The benchmark stack of the paper: metal 1 pins-only, metal 2
     /// horizontal, metal 3 vertical.
     pub fn three_layer(width: i32, height: i32) -> RoutingGrid {
@@ -174,11 +227,15 @@ impl RoutingGrid {
     }
 
     /// The lowest routing layer (where pins connect up to).
+    ///
+    /// Degenerate stacks with no routing layer (rejected by
+    /// [`RoutingGrid::try_new`] / [`RoutingGrid::validate`]) return
+    /// the out-of-range sentinel `layer_count()`.
     pub fn first_routing_layer(&self) -> u8 {
         self.layers
             .iter()
             .position(|r| matches!(r, LayerRole::Routing(_)))
-            .expect("at least one routing layer") as u8
+            .unwrap_or(self.layers.len()) as u8
     }
 }
 

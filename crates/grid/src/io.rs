@@ -33,13 +33,23 @@ use crate::solution::{RoutedNet, RoutingSolution, Via, WireEdge};
 pub struct ParseLayoutError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column of the offending token within the line,
+    /// or 0 when no single token is at fault (e.g. a missing token or
+    /// a whole-file problem).
+    pub column: usize,
+    /// The offending token verbatim; empty when none applies.
+    pub token: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseLayoutError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if self.column > 0 {
+            write!(f, " (column {}, near '{}')", self.column, self.token)?;
+        }
+        Ok(())
     }
 }
 
@@ -48,18 +58,41 @@ impl std::error::Error for ParseLayoutError {}
 fn err(line: usize, message: impl Into<String>) -> ParseLayoutError {
     ParseLayoutError {
         line,
+        column: 0,
+        token: String::new(),
         message: message.into(),
     }
 }
 
+fn err_at(line: usize, tok: (usize, &str), message: impl Into<String>) -> ParseLayoutError {
+    ParseLayoutError {
+        line,
+        column: tok.0,
+        token: tok.1.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Splits a raw (untrimmed) line into `(1-based byte column, token)`
+/// pairs so errors can point at the offending token.
+fn tokenize(raw: &str) -> impl Iterator<Item = (usize, &str)> + '_ {
+    raw.split_whitespace().map(move |tok| {
+        // Each split token is a sub-slice of `raw`; recover its byte
+        // offset from the pointer distance.
+        let col = tok.as_ptr() as usize - raw.as_ptr() as usize;
+        (col + 1, tok)
+    })
+}
+
 fn parse_num<T: FromStr>(
     line: usize,
-    tok: Option<&str>,
+    tok: Option<(usize, &str)>,
     what: &str,
 ) -> Result<T, ParseLayoutError> {
-    tok.ok_or_else(|| err(line, format!("missing {what}")))?
+    let tok = tok.ok_or_else(|| err(line, format!("missing {what}")))?;
+    tok.1
         .parse()
-        .map_err(|_| err(line, format!("invalid {what}")))
+        .map_err(|_| err_at(line, tok, format!("invalid {what}")))
 }
 
 /// Serializes a grid + netlist.
@@ -96,14 +129,35 @@ pub fn read_netlist(text: &str) -> Result<(RoutingGrid, Netlist), ParseLayoutErr
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut toks = trimmed.split_whitespace();
+        let mut toks = tokenize(raw);
         match toks.next() {
-            Some("grid") => {
-                let w: i32 = parse_num(line, toks.next(), "width")?;
-                let h: i32 = parse_num(line, toks.next(), "height")?;
-                let l: u8 = parse_num(line, toks.next(), "layer count")?;
+            Some((_, "grid")) => {
+                let wt = toks.next();
+                let w: i32 = parse_num(line, wt, "width")?;
+                let ht = toks.next();
+                let h: i32 = parse_num(line, ht, "height")?;
+                let lt = toks.next();
+                let l: u8 = parse_num(line, lt, "layer count")?;
+                if w <= 0 {
+                    return Err(err_at(
+                        line,
+                        wt.unwrap_or((0, "")),
+                        "grid width must be positive",
+                    ));
+                }
+                if h <= 0 {
+                    return Err(err_at(
+                        line,
+                        ht.unwrap_or((0, "")),
+                        "grid height must be positive",
+                    ));
+                }
                 if l < 2 {
-                    return Err(err(line, "need at least 2 layers"));
+                    return Err(err_at(
+                        line,
+                        lt.unwrap_or((0, "")),
+                        "need at least 2 layers",
+                    ));
                 }
                 let mut layers = vec![LayerRole::PinOnly];
                 for k in 1..l {
@@ -115,19 +169,31 @@ pub fn read_netlist(text: &str) -> Result<(RoutingGrid, Netlist), ParseLayoutErr
                 }
                 grid = Some(RoutingGrid::new(w, h, layers));
             }
-            Some("net") => {
-                let name = toks.next().ok_or_else(|| err(line, "missing net name"))?;
+            Some((_, "net")) => {
+                let name = toks.next().ok_or_else(|| err(line, "missing net name"))?.1;
                 let coords: Vec<i32> = toks
-                    .map(|t| t.parse().map_err(|_| err(line, "invalid coordinate")))
+                    .map(|t| {
+                        t.1.parse()
+                            .map_err(|_| err_at(line, t, "invalid coordinate"))
+                    })
                     .collect::<Result<_, _>>()?;
                 if coords.len() < 4 || !coords.len().is_multiple_of(2) {
                     return Err(err(line, "need an even number (>= 4) of pin coordinates"));
                 }
-                let pins = coords.chunks(2).map(|c| Pin::new(c[0], c[1])).collect();
-                netlist.push(Net::new(name, pins));
+                let pins: Vec<Pin> = coords.chunks(2).map(|c| Pin::new(c[0], c[1])).collect();
+                match Net::try_new(name, pins) {
+                    Ok(net) => netlist.push(net),
+                    Err(e) => return Err(err(line, e.to_string())),
+                };
             }
-            Some(other) => return Err(err(line, format!("unknown directive '{other}'"))),
-            None => unreachable!("empty lines filtered"),
+            Some(other) => {
+                return Err(err_at(
+                    line,
+                    other,
+                    format!("unknown directive '{}'", other.1),
+                ))
+            }
+            None => continue,
         }
     }
     let grid = grid.ok_or_else(|| err(0, "missing 'grid' line"))?;
@@ -174,9 +240,9 @@ pub fn read_solution(
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut toks = trimmed.split_whitespace();
+        let mut toks = tokenize(raw);
         match toks.next() {
-            Some("route") => {
+            Some((_, "route")) => {
                 if current.is_some() {
                     return Err(err(line, "nested 'route' (missing 'end'?)"));
                 }
@@ -186,7 +252,7 @@ pub fn read_solution(
                 }
                 current = Some((NetId(id), Vec::new(), Vec::new()));
             }
-            Some("wire") => {
+            Some((_, "wire")) => {
                 let (_, edges, _) = current
                     .as_mut()
                     .ok_or_else(|| err(line, "'wire' outside a route"))?;
@@ -194,29 +260,55 @@ pub fn read_solution(
                 let x: i32 = parse_num(line, toks.next(), "x")?;
                 let y: i32 = parse_num(line, toks.next(), "y")?;
                 let axis = match toks.next() {
-                    Some("H") => Axis::Horizontal,
-                    Some("V") => Axis::Vertical,
+                    Some((_, "H")) => Axis::Horizontal,
+                    Some((_, "V")) => Axis::Vertical,
                     _ => return Err(err(line, "axis must be H or V")),
                 };
-                edges.push(WireEdge::new(layer, x, y, axis));
+                let edge = WireEdge::new(layer, x, y, axis);
+                // Reject out-of-grid metal here: downstream indexes
+                // size arrays from coordinate spans, so unbounded
+                // coordinates must not survive parsing.
+                if !solution.grid().is_routing_layer(layer) {
+                    return Err(err(line, format!("layer {layer} is not a routing layer")));
+                }
+                if edge
+                    .endpoints()
+                    .iter()
+                    .any(|&p| !solution.grid().in_bounds(p))
+                {
+                    return Err(err(line, format!("wire at ({x},{y}) outside the grid")));
+                }
+                edges.push(edge);
             }
-            Some("via") => {
+            Some((_, "via")) => {
                 let (_, _, vias) = current
                     .as_mut()
                     .ok_or_else(|| err(line, "'via' outside a route"))?;
                 let below: u8 = parse_num(line, toks.next(), "below layer")?;
                 let x: i32 = parse_num(line, toks.next(), "x")?;
                 let y: i32 = parse_num(line, toks.next(), "y")?;
+                if below >= solution.grid().via_layer_count() {
+                    return Err(err(line, format!("via layer {below} out of range")));
+                }
+                if !solution.grid().in_bounds_xy(x, y) {
+                    return Err(err(line, format!("via at ({x},{y}) outside the grid")));
+                }
                 vias.push(Via::new(below, x, y));
             }
-            Some("end") => {
+            Some((_, "end")) => {
                 let (id, edges, vias) = current
                     .take()
                     .ok_or_else(|| err(line, "'end' outside a route"))?;
                 solution.set_route(id, RoutedNet::new(edges, vias));
             }
-            Some(other) => return Err(err(line, format!("unknown directive '{other}'"))),
-            None => unreachable!(),
+            Some(other) => {
+                return Err(err_at(
+                    line,
+                    other,
+                    format!("unknown directive '{}'", other.1),
+                ))
+            }
+            None => continue,
         }
     }
     if current.is_some() {

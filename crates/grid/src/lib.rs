@@ -22,8 +22,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dense;
+pub mod error;
 pub mod geom;
 pub mod grid;
 pub mod io;
@@ -31,6 +33,7 @@ pub mod netlist;
 pub mod solution;
 
 pub use dense::DenseGrid;
+pub use error::RouteError;
 pub use geom::{Axis, Dir, GridPoint, Parity, Rect, TurnKind};
 pub use grid::{LayerRole, RoutingGrid, SadpKind};
 pub use io::{read_netlist, read_solution, write_netlist, write_solution, ParseLayoutError};

@@ -69,13 +69,27 @@ impl Net {
     /// Panics if fewer than two distinct pins remain — a routable net
     /// needs at least two terminals.
     pub fn new(name: impl Into<String>, pins: Vec<Pin>) -> Net {
+        match Net::try_new(name, pins) {
+            Ok(net) => net,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking variant of [`Net::new`]: rejects nets with fewer
+    /// than two distinct pins with
+    /// [`RouteError::InvalidNetlist`](crate::RouteError::InvalidNetlist)
+    /// instead of panicking.
+    pub fn try_new(name: impl Into<String>, pins: Vec<Pin>) -> Result<Net, crate::RouteError> {
+        let name = name.into();
         let mut seen = std::collections::HashSet::new();
         let pins: Vec<Pin> = pins.into_iter().filter(|p| seen.insert(*p)).collect();
-        assert!(pins.len() >= 2, "a net needs at least two distinct pins");
-        Net {
-            name: name.into(),
-            pins,
+        if pins.len() < 2 {
+            return Err(crate::RouteError::InvalidNetlist {
+                net: name,
+                reason: "a net needs at least two distinct pins".to_string(),
+            });
         }
+        Ok(Net { name, pins })
     }
 
     /// The net's name.
@@ -148,6 +162,31 @@ impl Netlist {
     /// Total pin count across all nets.
     pub fn pin_count(&self) -> usize {
         self.nets.iter().map(|n| n.pins().len()).sum()
+    }
+
+    /// Cross-validates the netlist against `grid`: every pin must lie
+    /// inside the grid (pins sit on metal 1, which always exists).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidNetlist`](crate::RouteError::InvalidNetlist)
+    /// naming the first offending net.
+    pub fn validate(&self, grid: &crate::RoutingGrid) -> Result<(), crate::RouteError> {
+        for (_, net) in self.iter() {
+            for p in net.pins() {
+                if !grid.in_bounds_xy(p.x, p.y) {
+                    return Err(crate::RouteError::InvalidNetlist {
+                        net: net.name().to_string(),
+                        reason: format!(
+                            "pin {p} outside the {}x{} grid",
+                            grid.width(),
+                            grid.height()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -197,8 +197,15 @@ impl ArmIndex {
 
     #[inline]
     fn set(&mut self, p: GridPoint, bit: u8) {
-        let o = self.offset(p).expect("covered point inside bounding box");
-        self.mask[o] |= bit;
+        // `p` is always one of the covered points the window was built
+        // over, so the offset exists; stay total regardless.
+        debug_assert!(
+            self.offset(p).is_some(),
+            "covered point inside bounding box"
+        );
+        if let Some(o) = self.offset(p) {
+            self.mask[o] |= bit;
+        }
     }
 
     /// The mask at `p`, or 0 for points outside the window.
@@ -318,7 +325,11 @@ impl RoutedNet {
             let arms = self.arm_dirs(p);
             for &h in arms.iter().filter(|d| d.axis() == Some(Axis::Horizontal)) {
                 for &v in arms.iter().filter(|d| d.axis() == Some(Axis::Vertical)) {
-                    out.push((p, TurnKind::from_arms(h, v).expect("perpendicular arms")));
+                    // The filters make (h, v) perpendicular, so
+                    // from_arms always yields a turn.
+                    if let Some(turn) = TurnKind::from_arms(h, v) {
+                        out.push((p, turn));
+                    }
                 }
             }
         }
@@ -431,6 +442,52 @@ impl RoutingSolution {
             }
         }
         bad
+    }
+
+    /// Cross-validates every installed route against the grid: wire
+    /// edges must lie on in-bounds routing layers and vias must join
+    /// two existing metal layers inside the grid.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidSolution`](crate::RouteError::InvalidSolution)
+    /// naming the first offending net.
+    pub fn validate(&self) -> Result<(), crate::RouteError> {
+        let invalid = |id: NetId, reason: String| crate::RouteError::InvalidSolution {
+            net: Some(id.0),
+            reason,
+        };
+        for (id, route) in self.iter() {
+            for e in route.edges() {
+                if !self.grid.is_routing_layer(e.layer) {
+                    return Err(invalid(
+                        id,
+                        format!("wire on non-routing layer {}", e.layer),
+                    ));
+                }
+                if e.endpoints().iter().any(|&p| !self.grid.in_bounds(p)) {
+                    return Err(invalid(
+                        id,
+                        format!(
+                            "wire at ({},{}) on layer {} outside the grid",
+                            e.x, e.y, e.layer
+                        ),
+                    ));
+                }
+            }
+            for v in route.vias() {
+                if v.below >= self.grid.via_layer_count() {
+                    return Err(invalid(id, format!("via layer {} out of range", v.below)));
+                }
+                if !self.grid.in_bounds_xy(v.x, v.y) {
+                    return Err(invalid(
+                        id,
+                        format!("via at ({},{}) outside the grid", v.x, v.y),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Finds short circuits: metal grid points covered by more than one

@@ -1,0 +1,136 @@
+//! Robustness properties of the text-format parsers: `read_netlist` /
+//! `read_solution` must never panic — any input yields `Ok` or a
+//! `ParseLayoutError` — whether fed arbitrary byte soup, truncated
+//! valid files, or line-permuted valid files.
+
+use proptest::prelude::*;
+use sadp_grid::{read_netlist, read_solution, write_netlist, write_solution};
+use sadp_grid::{Net, Netlist, Pin, RoutingGrid};
+
+/// A small valid netlist + solution pair to truncate and permute.
+fn sample_texts() -> (String, String, RoutingGrid, Netlist) {
+    let grid = RoutingGrid::three_layer(16, 16);
+    let mut nl = Netlist::new();
+    nl.push(Net::new("a", vec![Pin::new(2, 2), Pin::new(6, 2)]));
+    nl.push(Net::new(
+        "b",
+        vec![Pin::new(2, 6), Pin::new(6, 6), Pin::new(4, 10)],
+    ));
+    let netlist_text = write_netlist(&grid, &nl);
+    let sol = read_solution(
+        grid.clone(),
+        &nl,
+        "route 0\nwire 1 2 2 H\nwire 1 3 2 H\nvia 0 2 2\nvia 0 4 2\nend\n",
+    )
+    .expect("valid sample solution");
+    let solution_text = write_solution(&sol);
+    (netlist_text, solution_text, grid, nl)
+}
+
+/// Strategy: lines made of format-plausible tokens, so the fuzz hits
+/// the directive arms and not just "unknown directive".
+fn plausible_line() -> impl Strategy<Value = String> {
+    let token = (0usize..16, -3i32..300).prop_map(|(pick, n)| match pick {
+        0 => "grid".to_string(),
+        1 => "net".to_string(),
+        2 => "route".to_string(),
+        3 => "wire".to_string(),
+        4 => "via".to_string(),
+        5 => "end".to_string(),
+        6 => "H".to_string(),
+        7 => "V".to_string(),
+        8 => "#".to_string(),
+        9 => "999999999".to_string(),
+        10 => "-999999999".to_string(),
+        11 => "255".to_string(),
+        12 => "x".to_string(),
+        _ => n.to_string(),
+    });
+    proptest::collection::vec(token, 0..8).prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the netlist parser.
+    #[test]
+    fn read_netlist_never_panics_on_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = read_netlist(&text);
+    }
+
+    /// Format-plausible token soup never panics either parser.
+    #[test]
+    fn parsers_never_panic_on_token_soup(lines in proptest::collection::vec(plausible_line(), 0..12)) {
+        let text = lines.join("\n");
+        let _ = read_netlist(&text);
+        let (_, _, grid, nl) = sample_texts();
+        let _ = read_solution(grid, &nl, &text);
+    }
+
+    /// Truncating a valid file at any byte never panics; errors carry
+    /// a line number inside the file.
+    #[test]
+    fn truncated_valid_files_never_panic(cut_permille in 0u32..=1000) {
+        let (netlist_text, solution_text, grid, nl) = sample_texts();
+        let cut = |s: &str| -> String {
+            let n = (s.len() as u64 * cut_permille as u64 / 1000) as usize;
+            // Cut on a char boundary (the formats are ASCII anyway).
+            let mut n = n.min(s.len());
+            while n > 0 && !s.is_char_boundary(n) { n -= 1; }
+            s[..n].to_string()
+        };
+        if let Err(e) = read_netlist(&cut(&netlist_text)) {
+            prop_assert!(e.line <= netlist_text.lines().count());
+        }
+        if let Err(e) = read_solution(grid, &nl, &cut(&solution_text)) {
+            prop_assert!(e.line <= solution_text.lines().count());
+        }
+    }
+
+    /// Permuting the lines of valid files never panics.
+    #[test]
+    fn permuted_valid_files_never_panic(seed in any::<u64>()) {
+        let (netlist_text, solution_text, grid, nl) = sample_texts();
+        let shuffle = |s: &str, mut seed: u64| -> String {
+            let mut lines: Vec<&str> = s.lines().collect();
+            // Fisher–Yates with a splitmix-style step.
+            for i in (1..lines.len()).rev() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (seed >> 33) as usize % (i + 1);
+                lines.swap(i, j);
+            }
+            lines.join("\n")
+        };
+        let _ = read_netlist(&shuffle(&netlist_text, seed));
+        let _ = read_solution(grid, &nl, &shuffle(&solution_text, seed ^ 0x9e3779b97f4a7c15));
+    }
+
+    /// Crafted near-valid inputs that used to reach panics: degenerate
+    /// grids, duplicate-pin nets, out-of-grid solution geometry.
+    #[test]
+    fn hostile_near_valid_inputs_error_cleanly(w in -2i32..3, x in -1i32..20, below in 0u8..=255) {
+        let degenerate = format!("grid {w} {w} 3\nnet a 1 1 2 2\n");
+        let _ = read_netlist(&degenerate);
+        prop_assert!(read_netlist("grid 8 8 3\nnet dup 1 1 1 1\n").is_err());
+        let (_, _, grid, nl) = sample_texts();
+        let text = format!("route 0\nwire 1 {x} {x} H\nvia {below} {x} {x}\nend\n");
+        let _ = read_solution(grid, &nl, &text);
+    }
+}
+
+#[test]
+fn errors_point_at_the_offending_token() {
+    let e = read_netlist("grid 8 8 3\nnet a 1 1 4 oops\n").unwrap_err();
+    assert_eq!(e.line, 2);
+    assert_eq!(e.token, "oops");
+    assert_eq!(e.column, 13, "1-based byte column of 'oops'");
+    assert!(e.to_string().contains("near 'oops'"), "{e}");
+
+    let e = read_netlist("grid 8 notahight 3\n").unwrap_err();
+    assert_eq!((e.line, e.token.as_str()), (1, "notahight"));
+
+    // Missing tokens have no column/token.
+    let e = read_netlist("grid 8\n").unwrap_err();
+    assert_eq!((e.column, e.token.as_str()), (0, ""));
+}

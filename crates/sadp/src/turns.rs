@@ -149,19 +149,18 @@ pub fn classify_turn(kind: SadpKind, x: i32, y: i32, turn: TurnKind) -> TurnClas
 ///
 /// Returns `true` when the resulting L is preferred or non-preferred,
 /// or when it is forbidden but excused by the unit-extension
-/// exception.
-///
-/// # Panics
-///
-/// Panics if `wire_arm` and `stub_dir` are not perpendicular planar
-/// directions.
+/// exception. Non-perpendicular or non-planar direction pairs form no
+/// turn at all, so no turn constraint applies and they return `true`.
 pub fn stub_turn_ok(kind: SadpKind, x: i32, y: i32, wire_arm: Dir, stub_dir: Dir) -> bool {
-    let turn = TurnKind::from_arms(wire_arm, stub_dir)
-        .expect("wire arm and stub direction must be perpendicular planar directions");
+    let Some(turn) = TurnKind::from_arms(wire_arm, stub_dir) else {
+        return true;
+    };
     if classify_turn(kind, x, y, turn) != TurnClass::Forbidden {
         return true;
     }
-    let wire_axis = wire_arm.axis().expect("planar");
+    let Some(wire_axis) = wire_arm.axis() else {
+        return true;
+    };
     match kind {
         SadpKind::Sim | SadpKind::SimTrim => match wire_axis {
             // Stub is vertical, existing wire horizontal: excused when
@@ -344,9 +343,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn stub_rejects_collinear_arms() {
-        let _ = stub_turn_ok(SadpKind::Sim, 0, 0, Dir::East, Dir::West);
+    fn stub_accepts_degenerate_arms_without_turn_constraint() {
+        // Collinear or non-planar pairs form no L-turn, so no turn
+        // rule applies (total function; previously a panic).
+        assert!(stub_turn_ok(SadpKind::Sim, 0, 0, Dir::East, Dir::West));
+        assert!(stub_turn_ok(SadpKind::Sid, 0, 0, Dir::Up, Dir::North));
     }
 
     /// SIM-with-trim shares SIM's mandrel geometry: identical turn

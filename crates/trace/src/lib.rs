@@ -113,6 +113,9 @@ pub enum Counter {
     AuditShorts,
     /// FVP windows found by an audit.
     AuditFvpWindows,
+    /// A phase stopped by a budget or iteration cap before it
+    /// converged (see `sadp-router`'s `Termination`).
+    BudgetStops,
 }
 
 impl Counter {
@@ -132,6 +135,7 @@ impl Counter {
             Counter::DeadVias => "dead_vias",
             Counter::AuditShorts => "audit_shorts",
             Counter::AuditFvpWindows => "audit_fvp_windows",
+            Counter::BudgetStops => "budget_stops",
         }
     }
 }
@@ -166,6 +170,13 @@ pub trait RouteObserver {
     fn counter(&mut self, phase: Phase, counter: Counter, value: i64) {
         let _ = (phase, counter, value);
     }
+
+    /// A free-form key/value annotation on the run (e.g. which DVI
+    /// solver actually produced the result, or the termination
+    /// reason). Later notes with the same key replace earlier ones.
+    fn note(&mut self, key: &str, value: &str) {
+        let _ = (key, value);
+    }
 }
 
 /// The zero-overhead sink: every callback is the trait's empty
@@ -186,6 +197,9 @@ impl<T: RouteObserver + ?Sized> RouteObserver for &mut T {
     }
     fn counter(&mut self, phase: Phase, counter: Counter, value: i64) {
         (**self).counter(phase, counter, value);
+    }
+    fn note(&mut self, key: &str, value: &str) {
+        (**self).note(key, value);
     }
 }
 
@@ -330,6 +344,7 @@ pub struct JsonReport {
     open: Vec<(usize, Instant)>,
     flags: BTreeMap<String, bool>,
     metrics: BTreeMap<String, i64>,
+    notes: BTreeMap<String, String>,
 }
 
 impl JsonReport {
@@ -341,6 +356,7 @@ impl JsonReport {
             open: Vec::new(),
             flags: BTreeMap::new(),
             metrics: BTreeMap::new(),
+            notes: BTreeMap::new(),
         }
     }
 
@@ -391,6 +407,18 @@ impl JsonReport {
     /// Reads back a metric set with [`JsonReport::set_metric`].
     pub fn metric(&self, name: &str) -> Option<i64> {
         self.metrics.get(name).copied()
+    }
+
+    /// Sets a free-form annotation (also reachable through
+    /// [`RouteObserver::note`]).
+    pub fn set_note(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.notes.insert(key.into(), value.into());
+    }
+
+    /// Reads back a note set with [`JsonReport::set_note`] /
+    /// [`RouteObserver::note`].
+    pub fn note_value(&self, key: &str) -> Option<&str> {
+        self.notes.get(key).map(String::as_str)
     }
 
     /// Serializes the report as one JSON object.
@@ -463,6 +491,16 @@ impl JsonReport {
             first = false;
             out.push_str(&format!("\"{}\": {}", escape(name), v));
         }
+        out.push_str("},\n");
+        out.push_str(&format!("{p2}\"notes\": {{"));
+        let mut first = true;
+        for (name, v) in &self.notes {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{}\": \"{}\"", escape(name), escape(v)));
+        }
         out.push_str("}\n");
         out.push_str(&format!("{pad}}}"));
     }
@@ -489,6 +527,10 @@ impl RouteObserver for JsonReport {
             let (i, t0) = self.open.remove(pos);
             self.spans[i].wall = t0.elapsed();
         }
+    }
+
+    fn note(&mut self, key: &str, value: &str) {
+        self.set_note(key, value);
     }
 
     fn counter(&mut self, phase: Phase, counter: Counter, value: i64) {
@@ -631,6 +673,24 @@ mod tests {
         assert!(json.contains("\"phase\": \"congestion_negotiation\""));
         assert!(json.contains("\"congestion_free\": true"));
         assert!(json.contains("\"wirelength\": 1234"));
+    }
+
+    #[test]
+    fn notes_round_trip_and_serialize() {
+        let mut rep = JsonReport::new("x");
+        // Through the observer interface…
+        RouteObserver::note(&mut rep, "dvi_solver", "ilp");
+        // …and replaced by a later note with the same key.
+        rep.set_note("dvi_solver", "heuristic");
+        rep.set_note("termination", "deadline");
+        assert_eq!(rep.note_value("dvi_solver"), Some("heuristic"));
+        assert_eq!(rep.note_value("missing"), None);
+        let json = rep.to_json();
+        assert!(json
+            .contains("\"notes\": {\"dvi_solver\": \"heuristic\", \"termination\": \"deadline\"}"));
+        // Sinks without note support ignore them silently.
+        RouteObserver::note(&mut NoopObserver, "k", "v");
+        RouteObserver::note(&mut EventLog::new(), "k", "v");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub use benchgen as bench;
 pub use bilp as ilp;
@@ -53,15 +54,16 @@ pub mod prelude {
     pub use dvi::{
         solve_heuristic, solve_heuristic_improved, solve_heuristic_improved_observed,
         solve_heuristic_observed, solve_ilp, solve_ilp_lazy, solve_ilp_lazy_observed,
-        solve_ilp_observed, DviOutcome, DviParams, DviProblem, LazyIlpOptions,
+        solve_ilp_observed, solve_resilient, DviOutcome, DviParams, DviProblem, DviSolver,
+        LazyIlpOptions, ResilientDviOptions, ResilientDviResult,
     };
     pub use sadp_grid::{
         Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via,
         WireEdge,
     };
     pub use sadp_router::{
-        full_audit, full_audit_observed, mask_audit, ConfigError, CostParams, FullAudit, Router,
-        RouterConfig, RoutingOutcome, RoutingSession,
+        full_audit, full_audit_observed, mask_audit, ConfigError, CostParams, FullAudit,
+        RouteBudget, RouteError, Router, RouterConfig, RoutingOutcome, RoutingSession, Termination,
     };
     pub use sadp_trace::{
         merge_reports, Counter, EventLog, JsonReport, NoopObserver, Phase, RouteObserver,
