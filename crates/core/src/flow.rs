@@ -25,7 +25,6 @@
 //! fan-out) is contained and reported as
 //! [`RouteError::TaskPanicked`].
 
-use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -38,9 +37,10 @@ use crate::budget::{ActiveBudget, RouteBudget, Termination};
 use crate::costs::CostParams;
 use crate::rnr::{
     ensure_colorable_budgeted, initial_routing_budgeted, negotiate_congestion_budgeted,
-    tpl_violation_removal_budgeted, CongestionWork, InitialWork, RnrStats, TplWork,
+    tpl_violation_removal_budgeted, CongestionWork, InitialWork, PinIndex, RnrStats, TplWork,
 };
 use crate::search::SearchScratch;
+use crate::shard::{self, ShardParams};
 use crate::state::RouterState;
 
 /// Failpoint name for an injected delay at the start of every phase
@@ -394,9 +394,14 @@ pub struct RoutingSession<'a> {
     config: RouterConfig,
     /// Pin location → pinned nets, built once for the whole session
     /// and shared by both R&R phases.
-    pins: HashMap<(i32, i32), Vec<NetId>>,
+    pins: PinIndex,
     state: RouterState,
     scratch: SearchScratch,
+    /// Per-worker scratches of the sharded R&R scheduler, reused
+    /// across waves and phase activations.
+    shard_pool: Vec<SearchScratch>,
+    /// Tuning of the sharded scheduler (output-invariant).
+    shard_params: ShardParams,
     start: Instant,
     budget: ActiveBudget,
     initial_work: InitialWork,
@@ -439,9 +444,11 @@ impl<'a> RoutingSession<'a> {
         RoutingSession {
             netlist,
             config,
-            pins: crate::rnr::pin_map(netlist),
+            pins: PinIndex::build(&state.grid, netlist),
             state,
             scratch: SearchScratch::new(),
+            shard_pool: Vec::new(),
+            shard_params: ShardParams::default(),
             start: Instant::now(),
             budget: ActiveBudget::unlimited(),
             initial_work: InitialWork::default(),
@@ -531,6 +538,13 @@ impl<'a> RoutingSession<'a> {
         self.scratch.set_expansion_stop(self.budget.expansion_stop);
     }
 
+    /// Overrides the sharded-scheduler tuning (region size, wave cap,
+    /// on/off) for all subsequent work. The knobs never change routing
+    /// output — only how much of the serial schedule is overlapped.
+    pub fn set_shard_params(&mut self, params: ShardParams) {
+        self.shard_params = params;
+    }
+
     /// How the work done so far stopped: the first phase's
     /// non-converged stop reason, or [`Termination::Converged`].
     pub fn termination(&self) -> Termination {
@@ -569,15 +583,44 @@ impl<'a> RoutingSession<'a> {
         let limits = self.budget.limits(usize::MAX);
         obs.phase_start(Phase::InitialRouting);
         faultinject::maybe_delay(FAILPOINT_SLOW_PHASE);
-        let t = initial_routing_budgeted(
-            &mut self.state,
-            self.netlist,
-            limits,
-            &mut self.initial_work,
-            &mut self.failed,
-            &mut self.scratch,
-            obs,
-        );
+        let t = if shard::should_shard(self.shard_params, &limits, &self.state) {
+            match crate::shard::initial_routing_sharded(
+                &mut self.state,
+                self.netlist,
+                limits,
+                &mut self.initial_work,
+                &mut self.failed,
+                &mut self.scratch,
+                &mut self.shard_pool,
+                self.shard_params,
+                obs,
+            ) {
+                Ok(t) => t,
+                Err(p) => {
+                    // Contain the worker panic: nets not yet routed are
+                    // reported failed so `routed_all` stays truthful,
+                    // and `try_finish` surfaces the fault.
+                    self.fault = Some(RouteError::TaskPanicked {
+                        task: p.task,
+                        message: p.message,
+                    });
+                    self.failed
+                        .extend_from_slice(&self.initial_work.order[self.initial_work.pos..]);
+                    self.initial_work.pos = self.initial_work.order.len();
+                    Termination::Converged
+                }
+            }
+        } else {
+            initial_routing_budgeted(
+                &mut self.state,
+                self.netlist,
+                limits,
+                &mut self.initial_work,
+                &mut self.failed,
+                &mut self.scratch,
+                obs,
+            )
+        };
         obs.phase_end(Phase::InitialRouting);
         self.initial_term = Some(t);
     }
@@ -593,15 +636,45 @@ impl<'a> RoutingSession<'a> {
         let limits = self.budget.limits(config_cap);
         obs.phase_start(Phase::CongestionNegotiation);
         faultinject::maybe_delay(FAILPOINT_SLOW_PHASE);
-        let (clean, stats) = negotiate_congestion_budgeted(
-            &mut self.state,
-            self.netlist,
-            &self.pins,
-            limits,
-            &mut self.congestion_work,
-            &mut self.scratch,
-            obs,
-        );
+        let (clean, stats) = if shard::should_shard(self.shard_params, &limits, &self.state) {
+            let (result, stats) = crate::shard::negotiate_congestion_sharded(
+                &mut self.state,
+                self.netlist,
+                &self.pins,
+                limits,
+                &mut self.congestion_work,
+                &mut self.scratch,
+                &mut self.shard_pool,
+                self.shard_params,
+                obs,
+            );
+            match result {
+                Ok(clean) => (clean, stats),
+                Err(p) => {
+                    // Contain the worker panic: the wave rolled back to
+                    // a valid serial state; record the fault and stop
+                    // the phase with its partial stats.
+                    self.fault = Some(RouteError::TaskPanicked {
+                        task: p.task,
+                        message: p.message,
+                    });
+                    let clean = self.state.congested_points().is_empty();
+                    let mut stats = stats;
+                    stats.termination = Termination::Converged;
+                    (clean, stats)
+                }
+            }
+        } else {
+            negotiate_congestion_budgeted(
+                &mut self.state,
+                self.netlist,
+                &self.pins,
+                limits,
+                &mut self.congestion_work,
+                &mut self.scratch,
+                obs,
+            )
+        };
         obs.phase_end(Phase::CongestionNegotiation);
         self.congestion_clean = clean;
         self.congestion_stats.merge(stats);

@@ -43,6 +43,7 @@ pub mod dijkstra;
 pub mod flow;
 pub mod rnr;
 pub mod search;
+pub mod shard;
 pub mod state;
 
 pub use audit::{full_audit, full_audit_observed, mask_audit, FullAudit};
@@ -53,3 +54,4 @@ pub use flow::{
 };
 pub use sadp_grid::RouteError;
 pub use search::SearchScratch;
+pub use shard::ShardParams;

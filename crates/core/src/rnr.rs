@@ -18,9 +18,9 @@
 //!   iteration sequence as an uninterrupted run.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
-use sadp_grid::{GridPoint, NetId, Netlist, Via};
+use sadp_grid::{GridPoint, NetId, Netlist, RoutedNet, RoutingGrid, Via};
 use sadp_trace::{Counter, Phase, RouteObserver};
 use tpl_decomp::{exact_color, welsh_powell, DecompGraph};
 
@@ -53,33 +53,115 @@ impl RnrStats {
     }
 }
 
-/// Map from pin location to the nets pinned there.
+/// Dense pin index: for every grid cell, the nets pinned there.
 ///
+/// CSR layout (one offsets array over the cells, one packed net
+/// array) instead of a `HashMap<(i32, i32), Vec<NetId>>`: the R&R
+/// inner loop queries it once per violation, and on the hot path the
+/// coordinate hashing and per-cell `Vec`s dominated the lookup cost.
 /// Derived from the immutable netlist, so callers build it once (see
 /// `RoutingSession::new`) and pass it to both R&R phases.
-pub(crate) fn pin_map(netlist: &Netlist) -> HashMap<(i32, i32), Vec<NetId>> {
-    let mut map: HashMap<(i32, i32), Vec<NetId>> = HashMap::new();
-    for (id, net) in netlist.iter() {
-        for p in net.pins() {
-            map.entry((p.x, p.y)).or_default().push(id);
+#[derive(Debug, Clone, Default)]
+pub struct PinIndex {
+    width: i32,
+    height: i32,
+    offsets: Vec<u32>,
+    nets: Vec<NetId>,
+}
+
+impl PinIndex {
+    /// Builds the index for a netlist on a grid. Out-of-bounds pins
+    /// (rejected by validation anyway) are ignored.
+    pub fn build(grid: &RoutingGrid, netlist: &Netlist) -> PinIndex {
+        let (width, height) = (grid.width(), grid.height());
+        let cells = (width as usize) * (height as usize);
+        let cell = |x: i32, y: i32| -> Option<usize> {
+            (x >= 0 && y >= 0 && x < width && y < height)
+                .then(|| (y as usize) * (width as usize) + x as usize)
+        };
+        let mut offsets = vec![0u32; cells + 1];
+        for (_, net) in netlist.iter() {
+            for p in net.pins() {
+                if let Some(c) = cell(p.x, p.y) {
+                    offsets[c + 1] += 1;
+                }
+            }
+        }
+        for c in 0..cells {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut nets = vec![NetId(0); offsets[cells] as usize];
+        let mut cursor = offsets.clone();
+        for (id, net) in netlist.iter() {
+            for p in net.pins() {
+                if let Some(c) = cell(p.x, p.y) {
+                    nets[cursor[c] as usize] = id;
+                    cursor[c] += 1;
+                }
+            }
+        }
+        PinIndex {
+            width,
+            height,
+            offsets,
+            nets,
         }
     }
-    map
+
+    /// The nets pinned at `(x, y)` (netlist order; empty off-grid).
+    pub fn nets_at(&self, x: i32, y: i32) -> &[NetId] {
+        if x < 0 || y < 0 || x >= self.width || y >= self.height {
+            return &[];
+        }
+        let c = (y as usize) * (self.width as usize) + x as usize;
+        &self.nets[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
 }
 
 /// Resumable progress of the initial-routing phase: the HPWL order is
 /// computed once and the cursor advances one net per iteration.
 #[derive(Debug, Clone, Default)]
 pub struct InitialWork {
-    order: Vec<NetId>,
-    pos: usize,
-    seeded: bool,
+    pub(crate) order: Vec<NetId>,
+    pub(crate) pos: usize,
+    pub(crate) seeded: bool,
 }
 
 impl InitialWork {
     /// `true` when every net has been attempted.
     pub fn is_done(&self) -> bool {
         self.seeded && self.pos >= self.order.len()
+    }
+}
+
+/// Computes the HPWL net order on first activation (idempotent).
+pub(crate) fn seed_initial_order(work: &mut InitialWork, netlist: &Netlist) {
+    if !work.seeded {
+        work.order = netlist.iter().map(|(id, _)| id).collect();
+        work.order.sort_by_key(|&id| (netlist[id].hpwl(), id));
+        work.pos = 0;
+        work.seeded = true;
+    }
+}
+
+/// One serial initial-routing iteration: routes `work.order[work.pos]`
+/// with the full window ladder and advances the cursor.
+pub(crate) fn initial_step(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    work: &mut InitialWork,
+    failed: &mut Vec<NetId>,
+    scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
+) {
+    let id = work.order[work.pos];
+    work.pos += 1;
+    match route_net(state, id, &netlist[id], scratch) {
+        Some(route) => state.install_route(id, route),
+        None => {
+            obs.counter(Phase::InitialRouting, Counter::FailedNets, 1);
+            failed.push(id);
+        }
     }
 }
 
@@ -120,28 +202,15 @@ pub fn initial_routing_budgeted(
     obs: &mut impl RouteObserver,
 ) -> Termination {
     const PHASE: Phase = Phase::InitialRouting;
-    if !work.seeded {
-        work.order = netlist.iter().map(|(id, _)| id).collect();
-        work.order.sort_by_key(|&id| (netlist[id].hpwl(), id));
-        work.pos = 0;
-        work.seeded = true;
-    }
+    seed_initial_order(work, netlist);
     let mut done_here = 0usize;
     while work.pos < work.order.len() {
         if let Some(t) = limits.stop_reason(done_here, scratch.expanded) {
             obs.counter(PHASE, Counter::BudgetStops, 1);
             return t;
         }
-        let id = work.order[work.pos];
-        work.pos += 1;
         done_here += 1;
-        match route_net(state, id, &netlist[id], scratch) {
-            Some(route) => state.install_route(id, route),
-            None => {
-                obs.counter(PHASE, Counter::FailedNets, 1);
-                failed.push(id);
-            }
-        }
+        initial_step(state, netlist, work, failed, scratch, obs);
     }
     Termination::Converged
 }
@@ -157,6 +226,20 @@ fn reroute(
     let Some(old) = state.uninstall_route(id) else {
         return false;
     };
+    reroute_uninstalled(state, netlist, id, old, scratch)
+}
+
+/// The tail of [`reroute`] for a victim whose old route is already
+/// lifted out of the state (the sharded spill path suspends routes up
+/// front): full window ladder, one retry without blocked-via
+/// enforcement, reinstall of `old` on failure.
+pub(crate) fn reroute_uninstalled(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    id: NetId,
+    old: RoutedNet,
+    scratch: &mut SearchScratch,
+) -> bool {
     match route_net(state, id, &netlist[id], scratch) {
         Some(new_route) => {
             state.install_route(id, new_route);
@@ -185,33 +268,33 @@ fn reroute(
 
 /// Picks the net to rip at a congested point: rotate among distinct
 /// owners that are not merely pinned there (pins cannot move).
-fn rip_candidate_at(
+///
+/// `buf` is a caller-owned scratch buffer (threaded through the work
+/// structs so the hot loop performs no per-call allocation); its
+/// contents on return are the rip candidates.
+pub(crate) fn rip_candidate_at(
     state: &RouterState,
-    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    pins: &PinIndex,
     p: GridPoint,
     rotation: usize,
+    buf: &mut Vec<NetId>,
 ) -> Option<NetId> {
-    let owners = state.owners_of(p);
-    if owners.len() < 2 {
+    state.owners_into(p, buf);
+    if buf.len() < 2 {
         return None; // stale
     }
     let first_routing = state.grid.first_routing_layer();
-    let candidates: Vec<NetId> = owners
-        .into_iter()
-        .filter(|id| {
-            // A net pinned at (x, y) covering only the pad cannot be
-            // helped by rerouting if the overlap *is* the pad and the
-            // point is on/below the first routing layer... but its
-            // wire may also pass here; rerouting is still the only
-            // lever, except for pure pin pads which every route of
-            // that net must touch. Exclude nets pinned exactly here.
-            !(p.layer <= first_routing && pins.get(&(p.x, p.y)).is_some_and(|v| v.contains(id)))
-        })
-        .collect();
-    if candidates.is_empty() {
+    // A net pinned at (x, y) covering only the pad cannot be
+    // helped by rerouting if the overlap *is* the pad and the
+    // point is on/below the first routing layer... but its
+    // wire may also pass here; rerouting is still the only
+    // lever, except for pure pin pads which every route of
+    // that net must touch. Exclude nets pinned exactly here.
+    buf.retain(|id| !(p.layer <= first_routing && pins.nets_at(p.x, p.y).contains(id)));
+    if buf.is_empty() {
         None
     } else {
-        Some(candidates[rotation % candidates.len()])
+        Some(buf[rotation % buf.len()])
     }
 }
 
@@ -220,8 +303,78 @@ fn rip_candidate_at(
 /// stop, so the next activation continues mid-queue.
 #[derive(Debug, Clone, Default)]
 pub struct CongestionWork {
-    queue: VecDeque<GridPoint>,
-    rotation: usize,
+    pub(crate) queue: VecDeque<GridPoint>,
+    pub(crate) rotation: usize,
+    /// Reused rip-candidate buffer (no per-iteration allocation).
+    pub(crate) victims: Vec<NetId>,
+}
+
+/// Seeds the violation queue from the congested points when no
+/// previous activation left pending work (idempotent).
+pub(crate) fn seed_congestion_queue(work: &mut CongestionWork, state: &RouterState) {
+    if work.queue.is_empty() {
+        work.queue = state.congested_points().into();
+    }
+}
+
+/// One serial congestion iteration: pops the next violation and
+/// processes it (stale entries are consumed silently, exactly like
+/// the `continue` of the serial loop). Returns `false` when the queue
+/// is empty.
+pub(crate) fn congestion_step(
+    state: &mut RouterState,
+    netlist: &Netlist,
+    pins: &PinIndex,
+    work: &mut CongestionWork,
+    stats: &mut RnrStats,
+    scratch: &mut SearchScratch,
+    obs: &mut impl RouteObserver,
+) -> bool {
+    const PHASE: Phase = Phase::CongestionNegotiation;
+    let Some(p) = work.queue.pop_front() else {
+        return false;
+    };
+    let mut victims = std::mem::take(&mut work.victims);
+    let candidate = rip_candidate_at(state, pins, p, work.rotation, &mut victims);
+    work.victims = victims;
+    let Some(victim) = candidate else {
+        return true;
+    };
+    work.rotation += 1;
+    stats.iterations += 1;
+    obs.counter(PHASE, Counter::Iterations, 1);
+    obs.counter(PHASE, Counter::CongestionHits, 1);
+    state.bump_history(p);
+    obs.counter(PHASE, Counter::CostDelta, state.params.history_step());
+    if reroute(state, netlist, victim, scratch) {
+        stats.reroutes += 1;
+        obs.counter(PHASE, Counter::Reroutes, 1);
+    } else {
+        stats.failures += 1;
+        obs.counter(PHASE, Counter::RerouteFailures, 1);
+    }
+    requeue_after_reroute(state, work, victim, p);
+    true
+}
+
+/// Re-examines after a reroute: overlaps of the victim's (new or
+/// reinstalled) route, and the processed point if still congested.
+pub(crate) fn requeue_after_reroute(
+    state: &RouterState,
+    work: &mut CongestionWork,
+    victim: NetId,
+    p: GridPoint,
+) {
+    if let Some(route) = state.solution.route(victim) {
+        for &q in route.covered_points_sorted() {
+            if state.owners_of(q).len() > 1 {
+                work.queue.push_back(q);
+            }
+        }
+    }
+    if state.owners_of(p).len() > 1 {
+        work.queue.push_back(p);
+    }
 }
 
 /// Negotiated-congestion R&R: resolves shared routing resources until
@@ -231,7 +384,7 @@ pub struct CongestionWork {
 pub fn negotiate_congestion(
     state: &mut RouterState,
     netlist: &Netlist,
-    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    pins: &PinIndex,
     max_iters: usize,
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
@@ -254,7 +407,7 @@ pub fn negotiate_congestion(
 pub fn negotiate_congestion_budgeted(
     state: &mut RouterState,
     netlist: &Netlist,
-    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    pins: &PinIndex,
     limits: PhaseLimits,
     work: &mut CongestionWork,
     scratch: &mut SearchScratch,
@@ -262,9 +415,7 @@ pub fn negotiate_congestion_budgeted(
 ) -> (bool, RnrStats) {
     const PHASE: Phase = Phase::CongestionNegotiation;
     let mut stats = RnrStats::default();
-    if work.queue.is_empty() {
-        work.queue = state.congested_points().into();
-    }
+    seed_congestion_queue(work, state);
     loop {
         // Budget check *before* the pop: an interrupted activation
         // leaves the violation in the queue for the resume.
@@ -273,36 +424,8 @@ pub fn negotiate_congestion_budgeted(
             obs.counter(PHASE, Counter::BudgetStops, 1);
             break;
         }
-        let Some(p) = work.queue.pop_front() else {
+        if !congestion_step(state, netlist, pins, work, &mut stats, scratch, obs) {
             break;
-        };
-        let Some(victim) = rip_candidate_at(state, pins, p, work.rotation) else {
-            continue;
-        };
-        work.rotation += 1;
-        stats.iterations += 1;
-        obs.counter(PHASE, Counter::Iterations, 1);
-        obs.counter(PHASE, Counter::CongestionHits, 1);
-        state.bump_history(p);
-        obs.counter(PHASE, Counter::CostDelta, state.params.history_step());
-        if reroute(state, netlist, victim, scratch) {
-            stats.reroutes += 1;
-            obs.counter(PHASE, Counter::Reroutes, 1);
-        } else {
-            stats.failures += 1;
-            obs.counter(PHASE, Counter::RerouteFailures, 1);
-        }
-        // Re-examine: overlaps of the new route, and this point if
-        // still congested.
-        if let Some(route) = state.solution.route(victim) {
-            for &q in route.covered_points_sorted() {
-                if state.owners_of(q).len() > 1 {
-                    work.queue.push_back(q);
-                }
-            }
-        }
-        if state.owners_of(p).len() > 1 {
-            work.queue.push_back(p);
         }
     }
     (state.congested_points().is_empty(), stats)
@@ -339,6 +462,8 @@ pub struct TplWork {
     seq: u64,
     rotation: usize,
     activated: bool,
+    /// Reused rip-candidate buffer (no per-iteration allocation).
+    victims: Vec<NetId>,
 }
 
 /// Via-layer TPL violation removal based R&R (Algorithm 2): blocks
@@ -350,7 +475,7 @@ pub struct TplWork {
 pub fn tpl_violation_removal(
     state: &mut RouterState,
     netlist: &Netlist,
-    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    pins: &PinIndex,
     max_iters: usize,
     scratch: &mut SearchScratch,
     obs: &mut impl RouteObserver,
@@ -372,7 +497,7 @@ pub fn tpl_violation_removal(
 pub fn tpl_violation_removal_budgeted(
     state: &mut RouterState,
     netlist: &Netlist,
-    pins: &HashMap<(i32, i32), Vec<NetId>>,
+    pins: &PinIndex,
     limits: PhaseLimits,
     work: &mut TplWork,
     scratch: &mut SearchScratch,
@@ -415,7 +540,10 @@ pub fn tpl_violation_removal_budgeted(
         // Stale-entry check and victim selection.
         let victim = match viol {
             Violation::Congestion(p) => {
-                let Some(v) = rip_candidate_at(state, pins, p, work.rotation) else {
+                let mut victims = std::mem::take(&mut work.victims);
+                let candidate = rip_candidate_at(state, pins, p, work.rotation, &mut victims);
+                work.victims = victims;
+                let Some(v) = candidate else {
                     continue;
                 };
                 obs.counter(PHASE, Counter::CongestionHits, 1);
@@ -750,7 +878,7 @@ mod tests {
             ));
         }
         let (nl, mut st) = build(nets, 24, 24);
-        let pins = pin_map(&nl);
+        let pins = PinIndex::build(&st.grid, &nl);
         let mut scratch = SearchScratch::new();
         let failed = initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
         assert!(failed.is_empty());
@@ -774,7 +902,7 @@ mod tests {
             ));
         }
         let (nl, mut st) = build(nets, 24, 24);
-        let pins = pin_map(&nl);
+        let pins = PinIndex::build(&st.grid, &nl);
         let mut scratch = SearchScratch::new();
         let failed = initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
         assert!(failed.is_empty());
@@ -799,7 +927,7 @@ mod tests {
             24,
             24,
         );
-        let pins = pin_map(&nl);
+        let pins = PinIndex::build(&st.grid, &nl);
         let mut scratch = SearchScratch::new();
         initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
         negotiate_congestion(&mut st, &nl, &pins, 1000, &mut scratch, &mut NoopObserver);
@@ -831,7 +959,7 @@ mod tests {
 
         let run = |slice: usize| {
             let (nl, mut st) = build(nets.clone(), 24, 24);
-            let pins = pin_map(&nl);
+            let pins = PinIndex::build(&st.grid, &nl);
             let mut scratch = SearchScratch::new();
             initial_routing(&mut st, &nl, &mut scratch, &mut NoopObserver);
             // The cost-aware initial pass avoids overlaps on an open

@@ -116,6 +116,12 @@ pub enum Counter {
     /// A phase stopped by a budget or iteration cap before it
     /// converged (see `sadp-router`'s `Termination`).
     BudgetStops,
+    /// A speculative parallel R&R wave executed (intra-instance
+    /// sharding; serial fallback steps count no wave).
+    Waves,
+    /// A speculative wave entry spilled to the serial fixup path
+    /// (window escalation needed, or speculation invalidated).
+    WaveSpills,
 }
 
 impl Counter {
@@ -136,6 +142,8 @@ impl Counter {
             Counter::AuditShorts => "audit_shorts",
             Counter::AuditFvpWindows => "audit_fvp_windows",
             Counter::BudgetStops => "budget_stops",
+            Counter::Waves => "waves",
+            Counter::WaveSpills => "wave_spills",
         }
     }
 }

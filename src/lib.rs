@@ -63,7 +63,8 @@ pub mod prelude {
     };
     pub use sadp_router::{
         full_audit, full_audit_observed, mask_audit, ConfigError, CostParams, FullAudit,
-        RouteBudget, RouteError, Router, RouterConfig, RoutingOutcome, RoutingSession, Termination,
+        RouteBudget, RouteError, Router, RouterConfig, RoutingOutcome, RoutingSession, ShardParams,
+        Termination,
     };
     pub use sadp_trace::{
         merge_reports, Counter, EventLog, JsonReport, NoopObserver, Phase, RouteObserver,
