@@ -65,6 +65,41 @@ impl BenchSpec {
         ]
     }
 
+    /// The paper-suite circuit with this `name`, or `None`.
+    pub fn by_name(name: &str) -> Option<BenchSpec> {
+        BenchSpec::paper_suite()
+            .into_iter()
+            .find(|s| s.name == name)
+    }
+
+    /// Mean routing density of the paper suite, in grid cells per net
+    /// (Table I: 53–116 cells/net across the six circuits). Sizes the
+    /// synthetic instances so their congestion is circuit-like.
+    pub const PAPER_CELLS_PER_NET: f64 = 78.0;
+
+    /// A synthetic square instance sized for `nets` at paper-suite
+    /// density, for the 10⁵–10⁶-net range the generated circuits do
+    /// not reach. Deterministic like every other spec: the instance is
+    /// fully defined by `(nets, seed)` at [`BenchSpec::generate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics above ~50M nets (the grid would cross the 2^32-cell
+    /// dense-storage cap).
+    pub fn synthetic(nets: usize) -> BenchSpec {
+        let dim = ((nets as f64 * BenchSpec::PAPER_CELLS_PER_NET).sqrt().ceil() as i32).max(24);
+        assert!(
+            3 * dim as u64 * dim as u64 <= sadp_grid::MAX_DENSE_CELLS,
+            "synthetic instance of {nets} nets exceeds the dense-storage cap"
+        );
+        BenchSpec {
+            name: "synth",
+            nets,
+            width: dim,
+            height: dim,
+        }
+    }
+
     /// A spec scaled to `factor` of the net count, with the grid
     /// shrunk by `sqrt(factor)` so routing density stays comparable.
     /// Useful for quick experiment runs (`--scale`).
@@ -142,7 +177,10 @@ impl BenchSpec {
         let mut rng = SmallRng::seed_from_u64(seed ^ hash_name(self.name) ^ 0xB05);
         let mut used: HashSet<(i32, i32)> = HashSet::new();
         let mut netlist = Netlist::new();
-        let bus_nets = (self.nets as f64 * bus_fraction) as usize;
+        // `.round()`, matching `scaled`'s net-count rule: truncation
+        // made the bus fraction drift to zero at small scale factors
+        // and jump discontinuously across scales.
+        let bus_nets = ((self.nets as f64 * bus_fraction).round() as usize).min(self.nets);
         let mut attempts = 0usize;
         // Buses: groups of up to 8 bits, PIN_SPACING tracks apart.
         'buses: while netlist.len() < bus_nets && attempts < 50 * self.nets.max(10) {
@@ -409,5 +447,74 @@ mod tests {
     #[should_panic]
     fn scaled_rejects_zero() {
         let _ = BenchSpec::paper_suite()[0].scaled(0.0);
+    }
+
+    /// Regression (issue 7): `generate_bus_style` truncated `bus_nets`
+    /// with `as usize` while `scaled` rounds `nets`, so the realized
+    /// bus fraction drifted to zero at small factors. Both now round,
+    /// pinned across the issue's factor set.
+    #[test]
+    fn bus_fraction_rounds_like_net_scaling() {
+        let spec = BenchSpec {
+            name: "rr",
+            nets: 61,
+            width: 220,
+            height: 220,
+        };
+        for factor in [0.05, 0.1, 1.0] {
+            let s = spec.scaled(factor);
+            assert_eq!(s.nets, ((61.0 * factor).round() as usize).max(1));
+            let target = ((s.nets as f64 * 0.4).round() as usize).min(s.nets);
+            let nl = s.generate_bus_style(3, 0.4);
+            let bus = nl.iter().filter(|(_, n)| n.name().contains("_bus")).count();
+            // The generator gives up on crowded dies, so pin the
+            // *target* behavior: it must never round down to zero when
+            // the real product is >= 0.5, and at these densities the
+            // die is loose enough to hit the target exactly.
+            assert_eq!(
+                bus, target,
+                "factor {factor}: bus nets {bus} != rounded target {target}"
+            );
+            assert!(
+                s.nets as f64 * 0.4 < 0.5 || bus >= 1,
+                "factor {factor}: bus fraction truncated to zero"
+            );
+        }
+        // The old truncation bug in its purest form: 5 nets x 0.1 =
+        // 0.5 buses — truncation produced 0, rounding produces 1 bus
+        // pair... (0.5 rounds to 1).
+        let tiny = BenchSpec {
+            name: "tiny",
+            nets: 5,
+            width: 120,
+            height: 120,
+        };
+        let nl = tiny.generate_bus_style(1, 0.1);
+        let bus = nl.iter().filter(|(_, n)| n.name().contains("_bus")).count();
+        assert_eq!(bus, 1, "0.5 bus nets must round up, not truncate to 0");
+    }
+
+    #[test]
+    fn synthetic_specs_hit_paper_density() {
+        for nets in [1_000usize, 100_000] {
+            let s = BenchSpec::synthetic(nets);
+            assert_eq!(s.nets, nets);
+            let cells_per_net = (s.width as f64 * s.height as f64) / nets as f64;
+            assert!(
+                (BenchSpec::PAPER_CELLS_PER_NET..BenchSpec::PAPER_CELLS_PER_NET * 1.1)
+                    .contains(&cells_per_net),
+                "{nets} nets: {cells_per_net} cells/net"
+            );
+            // The grid itself must construct (under every cap).
+            let _ = s.grid();
+        }
+        assert_eq!(BenchSpec::synthetic(1).width, 24);
+    }
+
+    #[test]
+    fn by_name_finds_the_paper_suite() {
+        assert_eq!(BenchSpec::by_name("top").unwrap().nets, 22201);
+        assert_eq!(BenchSpec::by_name("ecc").unwrap().width, 436);
+        assert!(BenchSpec::by_name("nope").is_none());
     }
 }

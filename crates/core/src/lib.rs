@@ -37,6 +37,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
+mod bucket;
 pub mod budget;
 pub mod costs;
 pub mod dijkstra;
@@ -53,5 +54,5 @@ pub use flow::{
     ConfigError, Router, RouterConfig, RouterConfigBuilder, RoutingOutcome, RoutingSession,
 };
 pub use sadp_grid::RouteError;
-pub use search::SearchScratch;
+pub use search::{QueueKind, SearchScratch};
 pub use shard::ShardParams;

@@ -2,6 +2,7 @@
 //! counters and occupancy bitmaps throughout the suite.
 
 use crate::geom::GridPoint;
+use crate::RouteError;
 
 /// A dense `layers × width × height` array addressed by [`GridPoint`].
 ///
@@ -28,16 +29,48 @@ impl<T: Clone> DenseGrid<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `width` or `height` is not positive.
+    /// Panics if `width` or `height` is not positive or the cell count
+    /// exceeds [`MAX_DENSE_CELLS`](crate::MAX_DENSE_CELLS) (use
+    /// [`DenseGrid::try_new`] on untrusted dimensions).
     pub fn new(layers: u8, width: i32, height: i32, fill: T) -> Self {
-        assert!(width > 0 && height > 0, "grid dimensions must be positive");
-        let len = layers as usize * width as usize * height as usize;
-        DenseGrid {
+        match DenseGrid::try_new(layers, width, height, fill) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`DenseGrid::new`]: untrusted dimensions (e.g. a
+    /// hostile `grid` header) yield a typed error instead of an OOM
+    /// abort from `vec![fill; huge]`.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidGrid`](crate::RouteError::InvalidGrid) on
+    /// non-positive dimensions or a cell count over
+    /// [`MAX_DENSE_CELLS`](crate::MAX_DENSE_CELLS).
+    pub fn try_new(layers: u8, width: i32, height: i32, fill: T) -> Result<Self, RouteError> {
+        if width <= 0 || height <= 0 {
+            return Err(RouteError::InvalidGrid {
+                reason: "grid dimensions must be positive".to_string(),
+            });
+        }
+        // u128: 255 x i32::MAX x i32::MAX overflows u64.
+        let cells = layers as u128 * width as u128 * height as u128;
+        if cells > crate::MAX_DENSE_CELLS as u128 {
+            return Err(RouteError::InvalidGrid {
+                reason: format!(
+                    "dense grid of {layers} x {width} x {height} = {cells} cells \
+                     exceeds the {} cell cap",
+                    crate::MAX_DENSE_CELLS
+                ),
+            });
+        }
+        Ok(DenseGrid {
             layers,
             width,
             height,
-            data: vec![fill; len],
-        }
+            data: vec![fill; cells as usize],
+        })
     }
 
     /// Resets every cell to `fill`.
@@ -190,5 +223,29 @@ mod tests {
     fn indexing_out_of_range_panics() {
         let g: DenseGrid<u8> = DenseGrid::new(1, 2, 2, 0);
         let _ = g[GridPoint::new(1, 0, 0)];
+    }
+
+    /// Regression (issue 7): `layers * width * height` used to be
+    /// computed unchecked and fed straight to `vec![fill; len]`, so an
+    /// adversarial header aborted the process on OOM. The cap turns it
+    /// into a typed error before any allocation.
+    #[test]
+    fn try_new_rejects_oversized_cell_counts() {
+        let r: Result<DenseGrid<u64>, _> = DenseGrid::try_new(9, 2_000_000_000, 2_000_000_000, 0);
+        let err = r.unwrap_err();
+        assert!(
+            matches!(&err, RouteError::InvalidGrid { reason } if reason.contains("cell cap")),
+            "{err}"
+        );
+        let r: Result<DenseGrid<u8>, _> = DenseGrid::try_new(1, 0, 4, 0);
+        assert!(r.is_err());
+        let ok: DenseGrid<u8> = DenseGrid::try_new(2, 3, 3, 7).unwrap();
+        assert_eq!(ok[GridPoint::new(1, 2, 2)], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell cap")]
+    fn new_panics_on_oversized_cell_counts() {
+        let _: DenseGrid<u8> = DenseGrid::new(9, 2_000_000_000, 2_000_000_000, 0);
     }
 }

@@ -83,17 +83,40 @@ pub struct RoutingGrid {
     layers: Vec<LayerRole>,
 }
 
+/// Largest representable track coordinate plus one: the search kernel
+/// packs coordinates into 24-bit signed fields of its 64-bit state
+/// keys, so any dimension at or above `2^23` would silently alias
+/// distinct states in release builds. Enforced at construction, never
+/// in the kernel.
+pub const MAX_GRID_DIM: i32 = 1 << 23;
+
+/// Hard cap on `layers × width × height` cells for any dense storage
+/// built over a grid — `2^32` cells keeps the largest per-instance
+/// cost map (8-byte cells) at 32 GiB and turns adversarial headers
+/// into typed errors instead of OOM aborts.
+pub const MAX_DENSE_CELLS: u64 = 1 << 32;
+
 impl RoutingGrid {
     /// Creates a grid with an explicit layer stack.
     ///
     /// # Panics
     ///
-    /// Panics if dimensions are not positive or fewer than two layers
-    /// are given (at least one via layer must exist).
+    /// Panics if dimensions are not positive or exceed
+    /// [`MAX_GRID_DIM`], the cell count exceeds [`MAX_DENSE_CELLS`],
+    /// or fewer than two layers are given (at least one via layer must
+    /// exist).
     pub fn new(width: i32, height: i32, layers: Vec<LayerRole>) -> RoutingGrid {
         assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        assert!(
+            width < MAX_GRID_DIM && height < MAX_GRID_DIM,
+            "grid dimensions exceed the 24-bit search-key ceiling"
+        );
         assert!(layers.len() >= 2, "need at least two metal layers");
         assert!(layers.len() <= u8::MAX as usize, "too many layers");
+        assert!(
+            layers.len() as u64 * width as u64 * height as u64 <= MAX_DENSE_CELLS,
+            "grid cell count exceeds the dense-storage cap"
+        );
         RoutingGrid {
             width,
             height,
@@ -142,14 +165,25 @@ impl RoutingGrid {
     ///
     /// [`RouteError::InvalidGrid`](crate::RouteError::InvalidGrid).
     pub fn validate(&self) -> Result<(), crate::RouteError> {
+        let invalid = |reason: &str| crate::RouteError::InvalidGrid {
+            reason: reason.to_string(),
+        };
+        if self.width >= MAX_GRID_DIM || self.height >= MAX_GRID_DIM {
+            return Err(invalid(
+                "grid dimensions exceed the 24-bit search-key ceiling (2^23 tracks)",
+            ));
+        }
+        if self.layers.len() as u64 * self.width as u64 * self.height as u64 > MAX_DENSE_CELLS {
+            return Err(invalid(
+                "grid cell count exceeds the dense-storage cap (2^32 cells)",
+            ));
+        }
         if !self
             .layers
             .iter()
             .any(|r| matches!(r, LayerRole::Routing(_)))
         {
-            return Err(crate::RouteError::InvalidGrid {
-                reason: "no routing layer in the stack".to_string(),
-            });
+            return Err(invalid("no routing layer in the stack"));
         }
         Ok(())
     }
@@ -276,6 +310,55 @@ mod tests {
     #[should_panic]
     fn rejects_single_layer() {
         let _ = RoutingGrid::new(4, 4, vec![LayerRole::PinOnly]);
+    }
+
+    fn routing_stack() -> Vec<LayerRole> {
+        vec![
+            LayerRole::PinOnly,
+            LayerRole::Routing(Axis::Horizontal),
+            LayerRole::Routing(Axis::Vertical),
+        ]
+    }
+
+    /// Regression (issue 7): dimensions at or above the 24-bit
+    /// search-key ceiling used to pass construction and silently alias
+    /// packed state keys in release kernels; they are now rejected at
+    /// the grid boundary with a typed error.
+    #[test]
+    fn rejects_dimensions_over_the_key_ceiling() {
+        for (w, h) in [(MAX_GRID_DIM, 8), (8, MAX_GRID_DIM), (i32::MAX, i32::MAX)] {
+            let err = RoutingGrid::try_new(w, h, routing_stack()).unwrap_err();
+            assert!(
+                matches!(&err, crate::RouteError::InvalidGrid { reason }
+                         if reason.contains("24-bit")),
+                "{w}x{h}: {err}"
+            );
+        }
+        // One track under the ceiling is representable (the cell cap
+        // still applies, so keep the other axis tiny).
+        // validate() guards already-constructed grids the same way.
+        let ok = RoutingGrid::try_new(MAX_GRID_DIM - 1, 8, routing_stack()).unwrap();
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit")]
+    fn new_panics_over_the_key_ceiling() {
+        let _ = RoutingGrid::new(MAX_GRID_DIM, 8, routing_stack());
+    }
+
+    /// Regression (issue 7): cell counts over the dense-storage cap
+    /// are rejected before any dense map can be sized off the grid.
+    #[test]
+    fn rejects_cell_counts_over_the_dense_cap() {
+        // 3 * 40000 * 40000 = 4.8e9 > 2^32.
+        let err = RoutingGrid::try_new(40_000, 40_000, routing_stack()).unwrap_err();
+        assert!(
+            matches!(&err, crate::RouteError::InvalidGrid { reason }
+                     if reason.contains("cell count")),
+            "{err}"
+        );
+        assert!(RoutingGrid::try_new(30_000, 30_000, routing_stack()).is_ok());
     }
 
     #[test]

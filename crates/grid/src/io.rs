@@ -159,6 +159,32 @@ pub fn read_netlist(text: &str) -> Result<(RoutingGrid, Netlist), ParseLayoutErr
                         "need at least 2 layers",
                     ));
                 }
+                // Reject adversarial headers before any dense storage
+                // is sized off them: dimensions must stay under the
+                // 24-bit search-key ceiling and the total cell count
+                // under the dense-storage cap, or downstream grids
+                // would abort on OOM instead of erroring.
+                if w >= crate::MAX_GRID_DIM {
+                    return Err(err_at(
+                        line,
+                        wt.unwrap_or((0, "")),
+                        "grid width exceeds the 2^23-track ceiling",
+                    ));
+                }
+                if h >= crate::MAX_GRID_DIM {
+                    return Err(err_at(
+                        line,
+                        ht.unwrap_or((0, "")),
+                        "grid height exceeds the 2^23-track ceiling",
+                    ));
+                }
+                if l as u64 * w as u64 * h as u64 > crate::MAX_DENSE_CELLS {
+                    return Err(err_at(
+                        line,
+                        lt.unwrap_or((0, "")),
+                        "grid cell count exceeds the 2^32-cell cap",
+                    ));
+                }
                 let mut layers = vec![LayerRole::PinOnly];
                 for k in 1..l {
                     layers.push(LayerRole::Routing(if k % 2 == 1 {

@@ -35,7 +35,7 @@ pub mod solution;
 pub use dense::DenseGrid;
 pub use error::RouteError;
 pub use geom::{Axis, Dir, GridPoint, Parity, Rect, TurnKind};
-pub use grid::{LayerRole, RoutingGrid, SadpKind};
+pub use grid::{LayerRole, RoutingGrid, SadpKind, MAX_DENSE_CELLS, MAX_GRID_DIM};
 pub use io::{read_netlist, read_solution, write_netlist, write_solution, ParseLayoutError};
 pub use netlist::{Net, NetId, Netlist, Pin};
 pub use solution::{RoutedNet, RoutingSolution, SolutionStats, Via, WireEdge};

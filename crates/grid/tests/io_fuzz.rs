@@ -117,6 +117,40 @@ proptest! {
         let text = format!("route 0\nwire 1 {x} {x} H\nvia {below} {x} {x}\nend\n");
         let _ = read_solution(grid, &nl, &text);
     }
+
+    /// Huge-dimension `grid` headers — the adversarial class that used
+    /// to abort on OOM inside `DenseGrid::new` — always come back as a
+    /// clean `ParseLayoutError` pointing at the header line, never a
+    /// panic or an allocation.
+    #[test]
+    fn huge_dimension_headers_error_cleanly(
+        w in 1i32..=2_000_000_000,
+        h in 1i32..=2_000_000_000,
+        l in 2u8..=9,
+    ) {
+        // The range straddles both caps, so cases land on every side
+        // of the predicate; tiny grids simply parse fine.
+        let text = format!("grid {w} {h} {l}\nnet a 1 1 2 2\n");
+        let big = w >= sadp_grid::MAX_GRID_DIM
+            || h >= sadp_grid::MAX_GRID_DIM
+            || l as u64 * w as u64 * h as u64 > sadp_grid::MAX_DENSE_CELLS;
+        match read_netlist(&text) {
+            Ok(_) => prop_assert!(!big, "oversized grid {w}x{h}x{l} parsed"),
+            Err(e) => {
+                prop_assert!(big, "small grid {w}x{h}x{l} rejected: {e}");
+                prop_assert_eq!(e.line, 1);
+            }
+        }
+    }
+}
+
+/// The exact adversarial header from the issue: ~3.6e19 cells must be
+/// a typed parse error, not an OOM abort.
+#[test]
+fn adversarial_grid_header_is_a_parse_error() {
+    let e = read_netlist("grid 2000000000 2000000000 9\n").unwrap_err();
+    assert_eq!(e.line, 1);
+    assert!(e.to_string().contains("ceiling"), "{e}");
 }
 
 #[test]
