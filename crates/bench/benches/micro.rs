@@ -88,7 +88,9 @@ fn bench_bilp(c: &mut Criterion) {
 fn routed_problem() -> DviProblem {
     let spec = BenchSpec::paper_suite()[0].scaled(0.04);
     let netlist = spec.generate(1);
-    let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+    let out = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim))
+        .try_run(&mut sadp_trace::NoopObserver)
+        .expect("full flow");
     DviProblem::build(SadpKind::Sim, &out.solution)
 }
 
@@ -153,7 +155,8 @@ fn bench_router(c: &mut Criterion) {
                 netlist.clone(),
                 RouterConfig::full(SadpKind::Sim),
             )
-            .run()
+            .try_run(&mut sadp_trace::NoopObserver)
+            .expect("full flow")
             .stats
         })
     });

@@ -164,7 +164,9 @@ fn main() {
     // equally.
     let per_spec: Vec<(String, f64, String)> = sadp_exec::map(&suite, |spec| {
         let netlist = spec.generate(seed);
-        let outcome = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+        let outcome = Router::new(spec.grid(), netlist, RouterConfig::full(SadpKind::Sim))
+            .try_run(&mut sadp_trace::NoopObserver)
+            .expect("full flow");
         let solution = outcome.solution;
         let routes: Vec<(NetId, RoutedNet)> = solution
             .iter()

@@ -33,7 +33,9 @@ fn main() {
         spec.height
     );
     let t = std::time::Instant::now();
-    let out = Router::new(spec.grid(), nl, config).run();
+    let out = Router::new(spec.grid(), nl, config)
+        .try_run(&mut sadp_trace::NoopObserver)
+        .expect("full flow");
     println!(
         "route: ok={} cong={} fvp={} col={} WL={} vias={} in {:.1?}",
         out.routed_all,

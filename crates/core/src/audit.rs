@@ -173,7 +173,8 @@ mod tests {
             nl.clone(),
             RouterConfig::full(SadpKind::Sim),
         )
-        .run();
+        .try_run(&mut sadp_trace::NoopObserver)
+        .expect("full flow");
         let audit = full_audit(SadpKind::Sim, &out.solution, &nl);
         assert!(audit.is_clean(), "{audit:?}");
     }
@@ -192,7 +193,8 @@ mod tests {
                 nl.clone(),
                 RouterConfig::full(kind),
             )
-            .run();
+            .try_run(&mut sadp_trace::NoopObserver)
+            .expect("full flow");
             let v = mask_audit(kind, &out.solution).expect("decomposable");
             assert_eq!(v, 0, "{kind}: mask DRC violations");
         }

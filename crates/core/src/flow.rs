@@ -39,7 +39,7 @@ use crate::rnr::{
     ensure_colorable_budgeted, initial_routing_budgeted, negotiate_congestion_budgeted,
     tpl_violation_removal_budgeted, CongestionWork, InitialWork, PinIndex, RnrStats, TplWork,
 };
-use crate::search::SearchScratch;
+use crate::search::{QueueKind, SearchScratch};
 use crate::shard::{self, ShardParams};
 use crate::state::RouterState;
 
@@ -53,6 +53,10 @@ pub const MAX_ITER_CAP: usize = 50_000_000;
 
 /// Upper bound accepted for the coloring-fix attempt count.
 pub const MAX_COLORING_ATTEMPTS: usize = 10_000;
+
+/// Upper bound accepted for an explicit [`RouterConfig::threads`]
+/// width (anything larger is almost certainly a unit mistake).
+pub const MAX_THREADS: usize = 1024;
 
 /// Configuration of one routing run — the four experiment arms of the
 /// paper's Tables III/IV are spanned by `consider_dvi` ×
@@ -80,6 +84,17 @@ pub struct RouterConfig {
     pub max_tpl_iters: usize,
     /// Attempts of the final coloring-fix loop.
     pub coloring_attempts: usize,
+    /// Execution-pool width for this run's parallel work (the sharded
+    /// R&R scheduler, coloring fan-outs, audits). `0` inherits the
+    /// process default: the `SADP_EXEC_THREADS` override read by
+    /// `sadp-exec`, else every core. None of these values change
+    /// routing output — only wall clock.
+    pub threads: usize,
+    /// Tuning of the intra-instance sharded R&R scheduler
+    /// (output-invariant; see [`ShardParams`]).
+    pub shard: ShardParams,
+    /// A* open-set implementation ([`QueueKind`]; output-invariant).
+    pub queue: QueueKind,
 }
 
 /// A [`RouterConfig`] field rejected by
@@ -96,6 +111,10 @@ pub enum ConfigError {
     NegativeCostWeight(&'static str, i64),
     /// A cost factor that must be ≥ 1 was smaller.
     CostFactorBelowOne(&'static str, i64),
+    /// `threads` above [`MAX_THREADS`].
+    Threads(usize),
+    /// `shard.region` must be ≥ 1.
+    ShardRegion(i32),
 }
 
 impl fmt::Display for ConfigError {
@@ -118,6 +137,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::CostFactorBelowOne(name, v) => {
                 write!(f, "cost factor {name} must be >= 1, got {v}")
+            }
+            ConfigError::Threads(n) => {
+                write!(
+                    f,
+                    "threads must be 0 (inherit) or <= {MAX_THREADS}, got {n}"
+                )
+            }
+            ConfigError::ShardRegion(r) => {
+                write!(f, "shard.region must be >= 1, got {r}")
             }
         }
     }
@@ -189,6 +217,25 @@ impl RouterConfigBuilder {
         self
     }
 
+    /// Pins the execution-pool width for this run (0 = inherit the
+    /// process default). Output-invariant.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Overrides the sharded R&R scheduler tuning. Output-invariant.
+    pub fn shard(mut self, params: ShardParams) -> Self {
+        self.config.shard = params;
+        self
+    }
+
+    /// Selects the A* open-set implementation. Output-invariant.
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.config.queue = kind;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -230,13 +277,27 @@ impl RouterConfigBuilder {
                 return Err(ConfigError::CostFactorBelowOne(name, v));
             }
         }
+        if c.threads > MAX_THREADS {
+            return Err(ConfigError::Threads(c.threads));
+        }
+        if c.shard.region < 1 {
+            return Err(ConfigError::ShardRegion(c.shard.region));
+        }
         Ok(self.config)
     }
 }
 
 impl RouterConfig {
     /// Starts a validating builder from the baseline arm's defaults.
+    ///
+    /// The execution knobs default through [`RouterConfig::from_env`]
+    /// — the single fallback layer where the environment overrides
+    /// (`SADP_SHARD`, `SADP_SHARD_REGION`, `SADP_SEARCH_QUEUE`; plus
+    /// `SADP_EXEC_THREADS` via `threads == 0`) enter a configuration.
+    /// Everything a run does is then determined by the `RouterConfig`
+    /// value alone: a session never consults the environment itself.
     pub fn builder(sadp: SadpKind) -> RouterConfigBuilder {
+        let (threads, shard, queue) = RouterConfig::from_env();
         RouterConfigBuilder {
             config: RouterConfig {
                 sadp,
@@ -246,8 +307,21 @@ impl RouterConfig {
                 max_congestion_iters: 0,
                 max_tpl_iters: 0,
                 coloring_attempts: 3,
+                threads,
+                shard,
+                queue,
             },
         }
+    }
+
+    /// The environment-derived execution knobs `(threads, shard,
+    /// queue)`: the one place the routing stack reads its env-var
+    /// overrides. `threads` is always 0 here (= inherit, so
+    /// `SADP_EXEC_THREADS` keeps applying at pool-dispatch time);
+    /// `shard` comes from `SADP_SHARD` / `SADP_SHARD_REGION`, `queue`
+    /// from `SADP_SEARCH_QUEUE`.
+    pub fn from_env() -> (usize, ShardParams, QueueKind) {
+        (0, ShardParams::from_env(), QueueKind::from_env())
     }
 
     /// Plain SADP-aware routing (the baseline arm).
@@ -446,9 +520,9 @@ impl<'a> RoutingSession<'a> {
             config,
             pins: PinIndex::build(&state.grid, netlist),
             state,
-            scratch: SearchScratch::new(),
+            scratch: SearchScratch::with_queue(config.queue),
             shard_pool: Vec::new(),
-            shard_params: ShardParams::default(),
+            shard_params: config.shard,
             start: Instant::now(),
             budget: ActiveBudget::unlimited(),
             initial_work: InitialWork::default(),
@@ -543,6 +617,12 @@ impl<'a> RoutingSession<'a> {
     /// output — only how much of the serial schedule is overlapped.
     pub fn set_shard_params(&mut self, params: ShardParams) {
         self.shard_params = params;
+    }
+
+    /// Pins the execution-pool width to the config's `threads` for the
+    /// duration of a phase activation (no-op when 0 = inherit).
+    fn exec_override(&self) -> Option<sadp_exec::ThreadsGuard> {
+        (self.config.threads > 0).then(|| sadp_exec::push_threads(self.config.threads))
     }
 
     /// How the work done so far stopped: the first phase's
@@ -782,6 +862,7 @@ impl<'a> RoutingSession<'a> {
     /// budget stopped a previous activation, calling this again
     /// continues with the next net.
     pub fn initial_route(&mut self, obs: &mut impl RouteObserver) -> &[NetId] {
+        let _exec = self.exec_override();
         if self.initial_term != Some(Termination::Converged) {
             self.run_initial(obs);
         }
@@ -793,6 +874,7 @@ impl<'a> RoutingSession<'a> {
     /// every activation. A budget-stopped activation is resumed by
     /// calling this again; a converged phase is not re-run.
     pub fn negotiate(&mut self, obs: &mut impl RouteObserver) -> (bool, RnrStats) {
+        let _exec = self.exec_override();
         if self.congestion_term != Some(Termination::Converged) {
             self.require_initial(obs);
             if self.initial_done() {
@@ -807,6 +889,7 @@ impl<'a> RoutingSession<'a> {
     /// records the stage as done and returns immediately. Returns
     /// `(clean, stats)` where clean means congestion- and FVP-free.
     pub fn tpl_removal(&mut self, obs: &mut impl RouteObserver) -> (bool, RnrStats) {
+        let _exec = self.exec_override();
         if self.tpl_term != Some(Termination::Converged) {
             self.require_negotiated(obs);
             if self.congestion_done {
@@ -823,6 +906,7 @@ impl<'a> RoutingSession<'a> {
     /// colorability verdict (`false` when the budget stopped the
     /// check before a verdict was reached — resume to get one).
     pub fn ensure_colorable(&mut self, obs: &mut impl RouteObserver) -> bool {
+        let _exec = self.exec_override();
         if self.coloring_term != Some(Termination::Converged) {
             self.require_tpl(obs);
             if self.tpl_done {
@@ -840,6 +924,7 @@ impl<'a> RoutingSession<'a> {
     /// [`Phase::Audit`] span. A budget-stopped run yields a valid
     /// partial outcome tagged with its [`Termination`] reason.
     pub fn finish(mut self, obs: &mut impl RouteObserver) -> RoutingOutcome {
+        let _exec = self.exec_override();
         self.require_coloring(obs);
         self.into_outcome(obs)
     }
@@ -856,6 +941,7 @@ impl<'a> RoutingSession<'a> {
         if let Some(f) = &self.fault {
             return Err(f.clone());
         }
+        let _exec = self.exec_override();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             let mut session = self;
             session.require_coloring(obs);
@@ -949,6 +1035,14 @@ impl Router {
 
     /// Runs the full flow with the zero-overhead observer and returns
     /// the outcome.
+    ///
+    /// Panics on invalid inputs or contained worker faults — prefer
+    /// [`Router::try_run`] (or the staged [`RoutingSession`] API) in
+    /// anything that must not crash the caller.
+    #[deprecated(
+        since = "0.9.0",
+        note = "infallible entry point; use `Router::try_run` or the staged `RoutingSession` API"
+    )]
     pub fn run(self) -> RoutingOutcome {
         self.run_observed(&mut NoopObserver)
     }
@@ -997,7 +1091,8 @@ mod tests {
                 small_netlist(),
                 RouterConfig::full(kind),
             )
-            .run();
+            .try_run(&mut NoopObserver)
+            .expect("full flow");
             assert!(out.routed_all, "{kind}: not all routed");
             assert!(out.congestion_free, "{kind}: congested");
             assert!(out.fvp_free, "{kind}: FVPs remain");
@@ -1015,7 +1110,8 @@ mod tests {
             small_netlist(),
             RouterConfig::baseline(SadpKind::Sim),
         )
-        .run();
+        .try_run(&mut NoopObserver)
+        .expect("baseline flow");
         assert!(out.routed_all);
         assert!(out.congestion_free);
     }
@@ -1029,7 +1125,10 @@ mod tests {
         assert_send_sync::<RoutingSession<'static>>();
     }
 
+    // Pins that the deprecated one-shot wrapper keeps working and
+    // keeps matching the staged session it delegates to.
     #[test]
+    #[allow(deprecated)]
     fn session_matches_router_run() {
         let grid = RoutingGrid::three_layer(24, 24);
         let nl = small_netlist();
@@ -1260,6 +1359,74 @@ mod tests {
     }
 
     #[test]
+    fn execution_knobs_validate_and_are_output_invariant() {
+        assert_eq!(
+            RouterConfig::builder(SadpKind::Sim)
+                .threads(MAX_THREADS + 1)
+                .build()
+                .unwrap_err(),
+            ConfigError::Threads(MAX_THREADS + 1)
+        );
+        assert_eq!(
+            RouterConfig::builder(SadpKind::Sim)
+                .shard(ShardParams {
+                    enabled: true,
+                    region: 0,
+                    max_wave: 64,
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ShardRegion(0)
+        );
+
+        // Every combination of the execution knobs routes to the same
+        // outcome as the defaults — they tune *how*, never *what*.
+        let grid = RoutingGrid::three_layer(24, 24);
+        let nl = small_netlist();
+        let reference = RoutingSession::new(&grid, &nl, RouterConfig::full(SadpKind::Sim))
+            .run_with(&mut NoopObserver);
+        for threads in [1usize, 3] {
+            for shard_on in [false, true] {
+                for queue in [QueueKind::Dial, QueueKind::Heap] {
+                    let config = RouterConfig::builder(SadpKind::Sim)
+                        .dvi(true)
+                        .tpl(true)
+                        .threads(threads)
+                        .shard(ShardParams {
+                            enabled: shard_on,
+                            region: 8,
+                            max_wave: 64,
+                        })
+                        .queue(queue)
+                        .build()
+                        .unwrap();
+                    let out = RoutingSession::new(&grid, &nl, config).run_with(&mut NoopObserver);
+                    assert_eq!(
+                        out.stats, reference.stats,
+                        "threads={threads} shard={shard_on} queue={queue:?}"
+                    );
+                    assert_eq!(out.routed_all, reference.routed_all);
+                    assert_eq!(out.colorable, reference.colorable);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_queue_kind_follows_config() {
+        let grid = RoutingGrid::three_layer(24, 24);
+        let nl = small_netlist();
+        for queue in [QueueKind::Dial, QueueKind::Heap] {
+            let config = RouterConfig::builder(SadpKind::Sim)
+                .queue(queue)
+                .build()
+                .unwrap();
+            let s = RoutingSession::new(&grid, &nl, config);
+            assert_eq!(s.scratch.queue_kind(), queue);
+        }
+    }
+
+    #[test]
     fn arm_shorthands_pass_builder_validation() {
         // The shorthands skip the builder's validation step; make sure
         // the defaults they hand out would pass it.
@@ -1281,7 +1448,8 @@ mod tests {
             small_netlist(),
             RouterConfig::full(SadpKind::Sim),
         )
-        .run();
+        .try_run(&mut NoopObserver)
+        .expect("full flow");
         let mut rep = JsonReport::new("unit");
         out.record_into(&mut rep);
         assert_eq!(rep.flag("congestion_free"), Some(true));

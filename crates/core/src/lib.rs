@@ -24,12 +24,15 @@
 //! ```no_run
 //! use sadp_grid::{Net, Netlist, Pin, RoutingGrid, SadpKind};
 //! use sadp_router::{Router, RouterConfig};
+//! use sadp_trace::NoopObserver;
 //!
 //! let grid = RoutingGrid::three_layer(64, 64);
 //! let mut netlist = Netlist::new();
 //! netlist.push(Net::new("n0", vec![Pin::new(4, 4), Pin::new(20, 9)]));
 //! let config = RouterConfig::full(SadpKind::Sim);
-//! let outcome = Router::new(grid, netlist, config).run();
+//! let outcome = Router::new(grid, netlist, config)
+//!     .try_run(&mut NoopObserver)
+//!     .expect("valid inputs");
 //! assert!(outcome.routed_all);
 //! ```
 

@@ -428,10 +428,11 @@ pub(crate) fn negotiate_congestion_sharded(
         obs.counter(PHASE, Counter::Waves, 1);
         let state_ref: &RouterState = state;
         let entries_ref: &[WaveEntry] = &entries;
+        let queue = scratch.queue_kind();
         let specs = sadp_exec::try_map_with(
             entries.len(),
             pool,
-            SearchScratch::new,
+            move || SearchScratch::with_queue(queue),
             |s: &mut SearchScratch, i: usize| match entries_ref[i].planned {
                 Planned::Rip {
                     victim,
@@ -590,10 +591,11 @@ pub(crate) fn initial_routing_sharded(
         obs.counter(PHASE, Counter::Waves, 1);
         let ids: Vec<NetId> = work.order[work.pos..work.pos + wave].to_vec();
         let state_ref: &RouterState = state;
+        let queue = scratch.queue_kind();
         let specs = sadp_exec::try_map_with(
             ids.len(),
             pool,
-            SearchScratch::new,
+            move || SearchScratch::with_queue(queue),
             |s: &mut SearchScratch, i: usize| {
                 let id = ids[i];
                 let (e0, s0) = (s.expanded, s.searches);

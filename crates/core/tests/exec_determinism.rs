@@ -33,7 +33,9 @@ fn fingerprint(out: &RoutingOutcome) -> (Vec<(NetId, RoutedNet)>, [bool; 4], u64
 }
 
 fn route(spec: &BenchSpec, seed: u64, kind: SadpKind) -> RoutingOutcome {
-    Router::new(spec.grid(), spec.generate(seed), RouterConfig::full(kind)).run()
+    Router::new(spec.grid(), spec.generate(seed), RouterConfig::full(kind))
+        .try_run(&mut sadp_trace::NoopObserver)
+        .expect("full flow")
 }
 
 proptest! {

@@ -113,15 +113,32 @@ pub fn thread_count() -> usize {
 /// afterwards. Used by the serial-vs-parallel benches and the
 /// determinism tests.
 pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
-    let prev = OVERRIDE.with(|c| c.replace(Some(threads.max(1))));
-    struct Restore(Option<usize>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            OVERRIDE.with(|c| c.set(self.0));
-        }
-    }
-    let _restore = Restore(prev);
+    let _guard = push_threads(threads);
     f()
+}
+
+/// RAII form of [`with_threads`]: pins the pool width for this thread
+/// until the guard drops (restoring the previous override). Lets a
+/// `&mut self` method install a width for its own body where a
+/// closure-based scope would fight the borrow checker.
+#[must_use = "the override is lifted when the guard drops"]
+pub struct ThreadsGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        OVERRIDE.with(|c| c.set(prev));
+    }
+}
+
+/// Installs a scoped pool-width override on this thread (see
+/// [`ThreadsGuard`]). A width of 0 is clamped to 1 (serial).
+pub fn push_threads(threads: usize) -> ThreadsGuard {
+    ThreadsGuard {
+        prev: OVERRIDE.with(|c| c.replace(Some(threads.max(1)))),
+    }
 }
 
 /// `true` when called from inside a pool worker (nested maps run
@@ -492,6 +509,21 @@ mod tests {
         assert_eq!(thread_count(), outer);
         // Zero is clamped to the serial floor.
         assert_eq!(with_threads(0, thread_count), 1);
+    }
+
+    #[test]
+    fn push_threads_guard_nests_and_restores() {
+        let outer = thread_count();
+        {
+            let _g1 = push_threads(5);
+            assert_eq!(thread_count(), 5);
+            {
+                let _g2 = push_threads(2);
+                assert_eq!(thread_count(), 2);
+            }
+            assert_eq!(thread_count(), 5, "inner guard restores outer override");
+        }
+        assert_eq!(thread_count(), outer);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! `sadpd` — the routing daemon.
+//!
+//! Speaks the deterministic JSON-lines protocol from
+//! [`sadp_service::wire`] over stdin/stdout (default) or a unix
+//! socket (`--socket PATH`, one connection at a time; each connection
+//! gets a fresh service so job ids restart from 1 and transcripts
+//! stay reproducible).
+//!
+//! ```text
+//! sadpd [--workers N] [--slice-iters N] [--socket PATH]
+//! ```
+
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+use sadp_service::{wire, Service, ServiceConfig};
+
+struct Args {
+    workers: usize,
+    slice_iters: usize,
+    socket: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workers: 0,
+        slice_iters: ServiceConfig::default().slice_iters,
+        socket: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+            }
+            "--slice-iters" => {
+                let v = it.next().ok_or("--slice-iters needs a value")?;
+                args.slice_iters = v.parse().map_err(|_| format!("bad --slice-iters {v:?}"))?;
+            }
+            "--socket" => {
+                args.socket = Some(it.next().ok_or("--socket needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!("usage: sadpd [--workers N] [--slice-iters N] [--socket PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn config(args: &Args) -> ServiceConfig {
+    ServiceConfig {
+        workers: args.workers,
+        slice_iters: args.slice_iters,
+        ..ServiceConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sadpd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match &args.socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let service = Service::start(config(&args));
+            wire::serve(stdin.lock(), stdout.lock(), service).map(|_| ())
+        }
+        Some(path) => serve_socket(path, &args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sadpd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Accepts connections sequentially; each serves an independent
+/// service instance until its client sends `shutdown` or hangs up.
+/// The listener exits after the first cleanly-served connection (so
+/// scripted smoke tests terminate without a kill); a transport error
+/// only drops that connection, never the daemon.
+fn serve_socket(path: &str, args: &Args) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("sadpd: listening on {path}");
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let service = Service::start(config(args));
+        match wire::serve(reader, &mut writer, service) {
+            Ok(_) => {
+                writer.flush()?;
+                break;
+            }
+            Err(e) => {
+                // A dropped client must not kill the daemon.
+                eprintln!("sadpd: connection error: {e}");
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,728 @@
+//! The in-process routing service: a worker pool over staged
+//! `RoutingSession`s with priority + fair-share scheduling, budget
+//! slicing for cancellation/deadlines, and per-job panic containment.
+//!
+//! ## Scheduling
+//!
+//! Three FIFO bands (high/normal/low) drained by a credit-weighted
+//! round-robin (4/2/1): each dispatch takes the highest band that
+//! still has credits *and* work; when no such band exists the credits
+//! reset. A stream of 100k-net low-priority jobs therefore consumes at
+//! most 1 dispatch in 7 once higher bands have work, while an idle
+//! service still gives the low band full throughput.
+//!
+//! ## Cancellation and deadlines
+//!
+//! Workers never run a session to completion in one activation.
+//! Instead they install a per-activation iteration-cap budget (the
+//! *slice*) and re-check the job's cancel flag and deadline between
+//! slices. Budget slicing is output-invariant (pinned by
+//! `crates/core/tests/budget.rs`), so a sliced run fingerprints
+//! identically to an unsliced one. Slices grow geometrically: phase
+//! convergence-by-cap requires a single activation to reach the
+//! configured cap, so a fixed small slice could spin forever on a
+//! non-converging instance — doubling guarantees termination while
+//! keeping early cancellation latency low.
+//!
+//! ## Containment
+//!
+//! Each job runs inside `catch_unwind`; a panicking job (including a
+//! contained `sadp-exec` worker panic surfacing through the session)
+//! resolves to a typed [`JobOutcome::Failed`] and the worker thread
+//! moves on. The daemon itself never dies with a job.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sadp_router::{RoutingSession, Termination};
+use sadp_trace::{Counter, JsonReport, Phase, RouteObserver};
+
+use crate::job::{error_kind, summarize, JobEvent, JobId, JobOutcome, RouteRequest, RouteResponse};
+
+/// Tuning of a [`Service`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads (0 = the `sadp-exec` process default).
+    pub workers: usize,
+    /// Maximum queued-but-not-started jobs; submission beyond this
+    /// returns [`SubmitError::QueueFull`].
+    pub queue_cap: usize,
+    /// Initial per-activation iteration slice (doubles per
+    /// activation). Smaller = faster cancellation, more re-activation
+    /// overhead.
+    pub slice_iters: usize,
+    /// Per-job progress-event buffer cap; overflow is dropped and
+    /// counted in [`RouteResponse::dropped_events`].
+    pub event_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            queue_cap: 65_536,
+            slice_iters: 64,
+            event_cap: 256,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service is shutting down and accepts no new jobs.
+    ShuttingDown,
+    /// The queue is at [`ServiceConfig::queue_cap`].
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+            SubmitError::QueueFull => f.write_str("job queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Lifecycle state reported by [`Service::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Terminal; the response is available.
+    Done,
+}
+
+impl JobState {
+    /// Stable lowercase name used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+}
+
+/// One [`Service::poll`] snapshot: the state, any progress events
+/// drained since the last poll, and the response once terminal.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Progress events drained by this poll (each event is delivered
+    /// to exactly one poll).
+    pub events: Vec<JobEvent>,
+    /// The terminal answer, present iff `state == Done`.
+    pub response: Option<RouteResponse>,
+}
+
+/// Per-job data shared between the scheduler, the executing worker,
+/// and pollers without holding the scheduler lock during routing.
+struct JobShared {
+    cancel: AtomicBool,
+    events: Mutex<EventBuf>,
+}
+
+struct EventBuf {
+    buf: VecDeque<JobEvent>,
+    dropped: usize,
+    cap: usize,
+}
+
+impl EventBuf {
+    fn push(&mut self, ev: JobEvent) {
+        if self.buf.len() >= self.cap {
+            self.dropped += 1;
+        } else {
+            self.buf.push_back(ev);
+        }
+    }
+}
+
+struct JobEntry {
+    request: RouteRequest,
+    state: JobState,
+    shared: Arc<JobShared>,
+    response: Option<RouteResponse>,
+}
+
+/// Drain/abort choice for [`Service::shutdown_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Finish every queued job first.
+    Drain,
+    /// Cancel queued jobs (running jobs get their cancel flag set and
+    /// wind down at the next slice boundary).
+    Now,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    Open,
+    Draining,
+    Aborting,
+}
+
+struct Sched {
+    queues: [VecDeque<JobId>; 3],
+    credits: [u32; 3],
+    jobs: Vec<JobEntry>, // index = JobId.0 - 1
+    gate: Gate,
+}
+
+const CREDIT_WEIGHTS: [u32; 3] = [4, 2, 1];
+
+impl Sched {
+    fn entry(&self, id: JobId) -> Option<&JobEntry> {
+        self.jobs.get((id.0 as usize).checked_sub(1)?)
+    }
+
+    fn entry_mut(&mut self, id: JobId) -> Option<&mut JobEntry> {
+        self.jobs.get_mut((id.0 as usize).checked_sub(1)?)
+    }
+
+    fn queued_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// The credit-weighted round-robin dispatch decision.
+    fn pick(&mut self) -> Option<JobId> {
+        if self.queues.iter().all(VecDeque::is_empty) {
+            return None;
+        }
+        loop {
+            for band in 0..3 {
+                if self.credits[band] > 0 {
+                    if let Some(id) = self.queues[band].pop_front() {
+                        self.credits[band] -= 1;
+                        return Some(id);
+                    }
+                }
+            }
+            // Every band with work is out of credits: new round.
+            self.credits = CREDIT_WEIGHTS;
+        }
+    }
+}
+
+struct Inner {
+    sched: Mutex<Sched>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    config: ServiceConfig,
+}
+
+/// A long-lived routing service. See the [module docs](self) for the
+/// scheduling and containment model; see [`crate::wire`] for the
+/// JSON-lines surface the `sadpd` binary puts on top.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    pub fn start(config: ServiceConfig) -> Service {
+        let workers = if config.workers == 0 {
+            sadp_exec::thread_count()
+        } else {
+            config.workers
+        }
+        .max(1);
+        let inner = Arc::new(Inner {
+            sched: Mutex::new(Sched {
+                queues: Default::default(),
+                credits: CREDIT_WEIGHTS,
+                jobs: Vec::new(),
+                gate: Gate::Open,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            config,
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sadpd-worker-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .unwrap_or_else(|e| panic!("spawn worker {w}: {e}"))
+            })
+            .collect();
+        Service {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Accepts a job; it starts as soon as the scheduler picks it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] after a shutdown began,
+    /// [`SubmitError::QueueFull`] at the queue cap.
+    pub fn submit(&self, request: RouteRequest) -> Result<JobId, SubmitError> {
+        let mut sched = self.lock();
+        if sched.gate != Gate::Open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if sched.queued_total() >= self.inner.config.queue_cap {
+            return Err(SubmitError::QueueFull);
+        }
+        let id = JobId(sched.jobs.len() as u64 + 1);
+        let band = request.priority.band();
+        sched.jobs.push(JobEntry {
+            request,
+            state: JobState::Queued,
+            shared: Arc::new(JobShared {
+                cancel: AtomicBool::new(false),
+                events: Mutex::new(EventBuf {
+                    buf: VecDeque::new(),
+                    dropped: 0,
+                    cap: self.inner.config.event_cap.max(1),
+                }),
+            }),
+            response: None,
+        });
+        sched.queues[band].push_back(id);
+        drop(sched);
+        self.inner.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Snapshot of a job: its state, the progress events produced
+    /// since the previous poll, and the response once terminal.
+    /// `None` for an unknown id.
+    pub fn poll(&self, id: JobId) -> Option<JobStatus> {
+        let sched = self.lock();
+        let entry = sched.entry(id)?;
+        let (events, _) = drain_events(&entry.shared);
+        Some(JobStatus {
+            state: entry.state,
+            events,
+            response: entry.response.clone(),
+        })
+    }
+
+    /// Blocks until `id` is terminal and returns its response (`None`
+    /// for an unknown id). Progress events not yet drained by `poll`
+    /// are discarded.
+    pub fn wait(&self, id: JobId) -> Option<RouteResponse> {
+        let mut sched = self.lock();
+        loop {
+            match sched.entry(id) {
+                None => return None,
+                Some(e) if e.state == JobState::Done => {
+                    return e.response.clone();
+                }
+                Some(_) => {
+                    sched = self
+                        .inner
+                        .done_cv
+                        .wait(sched)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Requests cancellation. A queued job resolves to `Cancelled`
+    /// immediately; a running one winds down at its next slice
+    /// boundary. Returns `false` for unknown or already-terminal jobs.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut sched = self.lock();
+        let Some(entry) = sched.entry_mut(id) else {
+            return false;
+        };
+        match entry.state {
+            JobState::Done => false,
+            JobState::Running => {
+                entry.shared.cancel.store(true, Ordering::Relaxed);
+                true
+            }
+            JobState::Queued => {
+                entry.shared.cancel.store(true, Ordering::Relaxed);
+                let run_id = entry.request.run_id();
+                entry.state = JobState::Done;
+                entry.response = Some(RouteResponse {
+                    job: id,
+                    run_id,
+                    outcome: JobOutcome::Cancelled,
+                    dropped_events: 0,
+                });
+                let band = entry.request.priority.band();
+                sched.queues[band].retain(|&q| q != id);
+                drop(sched);
+                self.inner.done_cv.notify_all();
+                true
+            }
+        }
+    }
+
+    /// Graceful shutdown: drains the queue, joins the workers, and
+    /// returns the number of jobs that reached a terminal state over
+    /// the service's lifetime.
+    pub fn shutdown(self) -> usize {
+        self.shutdown_with(ShutdownMode::Drain)
+    }
+
+    /// [`Service::shutdown`] with an explicit drain/abort choice.
+    pub fn shutdown_with(mut self, mode: ShutdownMode) -> usize {
+        {
+            let mut sched = self.lock();
+            sched.gate = match mode {
+                ShutdownMode::Drain => Gate::Draining,
+                ShutdownMode::Now => Gate::Aborting,
+            };
+            if mode == ShutdownMode::Now {
+                // Resolve everything still queued to Cancelled.
+                for band in 0..3 {
+                    while let Some(id) = sched.queues[band].pop_front() {
+                        if let Some(entry) = sched.entry_mut(id) {
+                            let run_id = entry.request.run_id();
+                            entry.state = JobState::Done;
+                            entry.response = Some(RouteResponse {
+                                job: id,
+                                run_id,
+                                outcome: JobOutcome::Cancelled,
+                                dropped_events: 0,
+                            });
+                        }
+                    }
+                }
+                // Running jobs wind down at their next slice.
+                for entry in &sched.jobs {
+                    if entry.state == JobState::Running {
+                        entry.shared.cancel.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            drop(sched);
+            self.inner.work_cv.notify_all();
+            self.inner.done_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker that somehow panicked outside the contained job
+            // body must not take the shutdown down with it.
+            let _ = handle.join();
+        }
+        let sched = self.lock();
+        sched
+            .jobs
+            .iter()
+            .filter(|e| e.state == JobState::Done)
+            .count()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        // A panic while holding the scheduler lock is contained per
+        // job; the scheduler state itself is only mutated at
+        // transition points, so a poisoned lock is still consistent.
+        self.inner.sched.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+fn drain_events(shared: &JobShared) -> (Vec<JobEvent>, usize) {
+    let mut buf = shared.events.lock().unwrap_or_else(|p| p.into_inner());
+    let events = buf.buf.drain(..).collect();
+    (events, buf.dropped)
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (id, request, shared) = {
+            let mut sched = inner.sched.lock().unwrap_or_else(|p| p.into_inner());
+            let id = loop {
+                match sched.gate {
+                    Gate::Aborting => return,
+                    Gate::Draining if sched.queued_total() == 0 => return,
+                    _ => {}
+                }
+                if let Some(id) = sched.pick() {
+                    break id;
+                }
+                sched = inner.work_cv.wait(sched).unwrap_or_else(|p| p.into_inner());
+            };
+            let Some(entry) = sched.entry_mut(id) else {
+                continue;
+            };
+            if entry.state != JobState::Queued {
+                // Raced with a queue-side cancel.
+                continue;
+            }
+            entry.state = JobState::Running;
+            (id, entry.request.clone(), Arc::clone(&entry.shared))
+        };
+
+        {
+            let mut buf = shared.events.lock().unwrap_or_else(|p| p.into_inner());
+            buf.push(JobEvent::Started);
+        }
+        let slice = inner.config.slice_iters.max(1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(&request, &shared, slice)
+        }))
+        .unwrap_or_else(|p| JobOutcome::Failed {
+            kind: "panic".into(),
+            error: panic_text(p.as_ref()),
+        });
+
+        let dropped = shared
+            .events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .dropped;
+        let response = RouteResponse {
+            job: id,
+            run_id: request.run_id(),
+            outcome,
+            dropped_events: dropped,
+        };
+        {
+            let mut sched = inner.sched.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(entry) = sched.entry_mut(id) {
+                entry.state = JobState::Done;
+                entry.response = Some(response);
+            }
+        }
+        inner.done_cv.notify_all();
+    }
+}
+
+/// Bridges the session's observer stream into the job's event buffer
+/// (first phase activation only — budget slicing re-activates phases
+/// without re-announcing them) while accumulating the full
+/// `JsonReport`.
+struct BridgeObserver<'a> {
+    report: JsonReport,
+    shared: &'a JobShared,
+    announced: [bool; Phase::ALL.len()],
+    ended: [bool; Phase::ALL.len()],
+}
+
+impl BridgeObserver<'_> {
+    fn emit(&self, ev: JobEvent) {
+        let mut buf = self.shared.events.lock().unwrap_or_else(|p| p.into_inner());
+        buf.push(ev);
+    }
+}
+
+impl RouteObserver for BridgeObserver<'_> {
+    fn phase_start(&mut self, phase: Phase) {
+        self.report.phase_start(phase);
+        let i = phase as usize;
+        if !self.announced[i] {
+            self.announced[i] = true;
+            self.emit(JobEvent::PhaseStart {
+                phase: phase.name(),
+            });
+        }
+    }
+
+    fn phase_end(&mut self, phase: Phase) {
+        self.report.phase_end(phase);
+        let i = phase as usize;
+        if !self.ended[i] {
+            self.ended[i] = true;
+            self.emit(JobEvent::PhaseEnd {
+                phase: phase.name(),
+            });
+        }
+    }
+
+    fn counter(&mut self, phase: Phase, counter: Counter, value: i64) {
+        self.report.counter(phase, counter, value);
+    }
+
+    fn note(&mut self, key: &str, value: &str) {
+        self.report.note(key, value);
+    }
+}
+
+fn execute_job(request: &RouteRequest, shared: &JobShared, base_slice: usize) -> JobOutcome {
+    let cancelled = || shared.cancel.load(Ordering::Relaxed);
+    if cancelled() {
+        return JobOutcome::Cancelled;
+    }
+    let (grid, netlist) = match request.source.materialize() {
+        Ok(x) => x,
+        Err(error) => {
+            return JobOutcome::Failed {
+                kind: "source".into(),
+                error,
+            };
+        }
+    };
+    let config = match request.router_config() {
+        Ok(c) => c,
+        Err(e) => {
+            return JobOutcome::Failed {
+                kind: "config".into(),
+                error: e.to_string(),
+            };
+        }
+    };
+    let mut obs = BridgeObserver {
+        report: JsonReport::with_run_id(format!("{:016x}", request.run_id()), request.run_id()),
+        shared,
+        announced: [false; Phase::ALL.len()],
+        ended: [false; Phase::ALL.len()],
+    };
+
+    let mut session = match RoutingSession::try_new(&grid, &netlist, config) {
+        Ok(s) => s,
+        Err(e) => {
+            return JobOutcome::Failed {
+                kind: error_kind(&e).into(),
+                error: e.to_string(),
+            };
+        }
+    };
+
+    let started = Instant::now();
+    let deadline = request
+        .budget
+        .deadline_ms
+        .map(|ms| started + Duration::from_millis(ms));
+    // An expansion cap cuts searches mid-reroute, so re-activating it
+    // per slice would change the outcome. Honor it with a single
+    // unsliced activation instead (documented cancellation-latency
+    // tradeoff for expansion-capped jobs).
+    let sliced = request.budget.max_expansions.is_none();
+    let user_cap = request.budget.max_phase_iters.unwrap_or(usize::MAX);
+    let mut slice = base_slice.min(user_cap).max(1);
+
+    loop {
+        if cancelled() {
+            obs.emit(JobEvent::Cancelling);
+            return JobOutcome::Cancelled;
+        }
+        let mut budget = request.budget.to_route_budget();
+        if sliced {
+            budget = budget.with_max_phase_iters(slice);
+            if let Some(d) = deadline {
+                budget = budget.with_deadline(d.saturating_duration_since(Instant::now()));
+            }
+        }
+        session.set_budget(budget);
+        session.initial_route(&mut obs);
+        session.negotiate(&mut obs);
+        session.tpl_removal(&mut obs);
+        session.ensure_colorable(&mut obs);
+        if session.converged() || !sliced {
+            // A single unsliced activation is always terminal: the
+            // user's own budget did whatever stopping there was to do.
+            break;
+        }
+        match session.termination() {
+            // Deadline/expansion exhaustion is terminal: try_finish
+            // below finalizes the partial outcome under the expired
+            // budget.
+            Termination::Deadline | Termination::ExpansionCap => break,
+            Termination::IterationCap => {
+                if slice >= user_cap {
+                    // The *user's* cap stopped the phase: terminal.
+                    break;
+                }
+                slice = slice.saturating_mul(2).min(user_cap);
+            }
+            Termination::Converged => break,
+        }
+    }
+
+    match session.try_finish(&mut obs) {
+        Ok(outcome) => {
+            let summary = summarize(&outcome);
+            let mut report = obs.report;
+            outcome.record_into(&mut report);
+            JobOutcome::Completed {
+                summary,
+                report: Box::new(report),
+            }
+        }
+        Err(e) => JobOutcome::Failed {
+            kind: error_kind(&e).into(),
+            error: e.to_string(),
+        },
+    }
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_round_robin_shares_bands() {
+        let mut sched = Sched {
+            queues: Default::default(),
+            credits: CREDIT_WEIGHTS,
+            jobs: Vec::new(),
+            gate: Gate::Open,
+        };
+        // 8 high, 8 normal, 8 low queued (ids disjoint per band).
+        for i in 0..8u64 {
+            sched.queues[0].push_back(JobId(i + 1));
+            sched.queues[1].push_back(JobId(i + 101));
+            sched.queues[2].push_back(JobId(i + 201));
+        }
+        let picks: Vec<u64> = std::iter::from_fn(|| sched.pick()).map(|j| j.0).collect();
+        assert_eq!(picks.len(), 24);
+        // First full credit round: 4 high, 2 normal, 1 low.
+        assert_eq!(picks[..7], [1, 2, 3, 4, 101, 102, 201]);
+        // Low-priority work is never starved: all three bands appear
+        // in the first two rounds.
+        assert!(picks[..14].iter().any(|&p| p > 200));
+    }
+
+    #[test]
+    fn pick_falls_through_to_lower_bands_when_higher_are_empty() {
+        let mut sched = Sched {
+            queues: Default::default(),
+            credits: CREDIT_WEIGHTS,
+            jobs: Vec::new(),
+            gate: Gate::Open,
+        };
+        sched.queues[2].push_back(JobId(1));
+        sched.queues[2].push_back(JobId(2));
+        assert_eq!(sched.pick(), Some(JobId(1)));
+        assert_eq!(sched.pick(), Some(JobId(2)));
+        assert_eq!(sched.pick(), None);
+    }
+
+    #[test]
+    fn event_buffer_caps_and_counts_drops() {
+        let mut buf = EventBuf {
+            buf: VecDeque::new(),
+            dropped: 0,
+            cap: 2,
+        };
+        for _ in 0..5 {
+            buf.push(JobEvent::Started);
+        }
+        assert_eq!(buf.buf.len(), 2);
+        assert_eq!(buf.dropped, 3);
+    }
+}

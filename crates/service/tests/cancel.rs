@@ -1,0 +1,62 @@
+//! Mid-phase cancellation, made observable by arming the
+//! `core.slow_phase` delay failpoint. Fault plans are process-global,
+//! so this lives in its own test binary (one `#[test]`) rather than
+//! alongside the fault-free lifecycle suite.
+
+use std::time::{Duration, Instant};
+
+use sadp_grid::SadpKind;
+use sadp_service::{JobEvent, JobOutcome, JobSource, RouteRequest, Service, ServiceConfig};
+
+#[test]
+fn running_job_cancels_at_a_slice_boundary() {
+    // Every phase activation sleeps 100ms, and a 1-iteration slice
+    // forces many activations on a congested instance: the cancel flag
+    // set below is observed at the next slice boundary.
+    let _faults = faultinject::arm(
+        7,
+        faultinject::FaultSpec::new()
+            .point("core.slow_phase", 1.0)
+            .delay(Duration::from_millis(100)),
+    );
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        slice_iters: 1,
+        ..ServiceConfig::default()
+    });
+    let request = RouteRequest::new(JobSource::Synthetic { nets: 900, seed: 5 }, SadpKind::Sim);
+    let id = service.submit(request).expect("accepts job");
+
+    // Wait for the job to actually start, then cancel it mid-phase.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut events = Vec::new();
+    loop {
+        let status = service.poll(id).expect("known job");
+        events.extend(status.events);
+        if events.contains(&JobEvent::Started) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    service.cancel(id);
+
+    let response = service.wait(id).expect("known job");
+    let status = service.poll(id).expect("known job");
+    events.extend(status.events);
+    match response.outcome {
+        JobOutcome::Cancelled => {
+            // The common path: the worker saw the flag between slices
+            // and announced it on the event stream.
+            assert!(
+                events.contains(&JobEvent::Cancelling),
+                "cancelled job announces wind-down, events: {events:?}"
+            );
+        }
+        // Legal race: the job converged in its very first slice before
+        // the flag was checked. Still a typed terminal outcome.
+        JobOutcome::Completed { .. } => {}
+        JobOutcome::Failed { kind, error } => panic!("unexpected failure {kind}: {error}"),
+    }
+    service.shutdown();
+}

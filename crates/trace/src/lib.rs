@@ -347,6 +347,7 @@ pub struct PhaseSpan {
 #[derive(Debug, Clone)]
 pub struct JsonReport {
     label: String,
+    run_id: u64,
     spans: Vec<PhaseSpan>,
     /// Indices into `spans` of the currently open spans (LIFO).
     open: Vec<(usize, Instant)>,
@@ -355,11 +356,30 @@ pub struct JsonReport {
     notes: BTreeMap<String, String>,
 }
 
+/// FNV-1a over a byte string — the deterministic (seed- and
+/// content-derived, never wall-clock) hash behind [`JsonReport`] run
+/// ids and outcome fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl JsonReport {
-    /// An empty report labeled `label` (e.g. `"ecc/+both"`).
+    /// An empty report labeled `label` (e.g. `"ecc/+both"`). The run
+    /// id defaults to a hash of the label; callers running the same
+    /// labeled work more than once (e.g. concurrent service jobs)
+    /// should install a distinguishing id with
+    /// [`JsonReport::set_run_id`] so [`merge_reports`] output stays
+    /// attributable.
     pub fn new(label: impl Into<String>) -> JsonReport {
+        let label = label.into();
         JsonReport {
-            label: label.into(),
+            run_id: fnv1a(label.as_bytes()),
+            label,
             spans: Vec::new(),
             open: Vec::new(),
             flags: BTreeMap::new(),
@@ -368,9 +388,29 @@ impl JsonReport {
         }
     }
 
+    /// [`JsonReport::new`] with an explicit run id.
+    pub fn with_run_id(label: impl Into<String>, run_id: u64) -> JsonReport {
+        let mut r = JsonReport::new(label);
+        r.run_id = run_id;
+        r
+    }
+
     /// The report label.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// The stable run identifier (serialized as a 16-digit hex
+    /// string). Deterministic: derived from the label, or whatever the
+    /// caller seeded via [`JsonReport::set_run_id`] — never the clock.
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// Replaces the run id (see [`JsonReport::new`] on why concurrent
+    /// same-label runs need distinct ids).
+    pub fn set_run_id(&mut self, run_id: u64) {
+        self.run_id = run_id;
     }
 
     /// Every closed span, in open order.
@@ -443,6 +483,7 @@ impl JsonReport {
         let p4 = " ".repeat(indent + 4);
         out.push_str(&format!("{pad}{{\n"));
         out.push_str(&format!("{p2}\"run\": \"{}\",\n", escape(&self.label)));
+        out.push_str(&format!("{p2}\"run_id\": \"{:016x}\",\n", self.run_id));
         out.push_str(&format!(
             "{p2}\"span_total_ns\": {},\n",
             self.span_total().as_nanos()
@@ -741,6 +782,38 @@ mod tests {
         let ia = doc.find("a\\\"1").expect("escaped label a");
         let ib = doc.find("\"run\": \"b\"").expect("label b");
         assert!(ia < ib, "task order preserved");
+    }
+
+    #[test]
+    fn run_ids_are_deterministic_and_serialized() {
+        let a = JsonReport::new("ecc/+both");
+        let b = JsonReport::new("ecc/+both");
+        assert_eq!(a.run_id(), b.run_id(), "same label, same default id");
+        assert_ne!(a.run_id(), JsonReport::new("efc/+both").run_id());
+        let mut c = JsonReport::with_run_id("ecc/+both", 0xdead_beef);
+        assert_eq!(c.run_id(), 0xdead_beef);
+        c.set_run_id(7);
+        assert_eq!(c.run_id(), 7);
+        assert!(c.to_json().contains("\"run_id\": \"0000000000000007\""));
+        // Two same-label jobs distinguished by seeded ids stay
+        // attributable in a merged document.
+        let doc = merge_reports(
+            "svc",
+            &[
+                JsonReport::with_run_id("job", 1),
+                JsonReport::with_run_id("job", 2),
+            ],
+        );
+        let i1 = doc.find("0000000000000001").expect("id 1 present");
+        let i2 = doc.find("0000000000000002").expect("id 2 present");
+        assert!(i1 < i2, "task order preserved");
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
     }
 
     #[test]

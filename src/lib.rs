@@ -43,12 +43,14 @@ pub use dvi;
 pub use sadp_decomp as sadp;
 pub use sadp_grid as grid;
 pub use sadp_router as router;
+pub use sadp_service as service;
 pub use sadp_trace as trace;
 pub use tpl_decomp as tpl;
 
 /// The types and functions nearly every user of the workspace touches:
 /// grid/netlist modeling, the staged router, the DVI solvers, the
-/// benchmark generator, and the observability sinks.
+/// benchmark generator, the observability sinks, and the routing
+/// service job API.
 pub mod prelude {
     pub use benchgen::BenchSpec;
     pub use dvi::{
@@ -65,6 +67,10 @@ pub mod prelude {
         full_audit, full_audit_observed, mask_audit, ConfigError, CostParams, FullAudit,
         RouteBudget, RouteError, Router, RouterConfig, RoutingOutcome, RoutingSession, ShardParams,
         Termination,
+    };
+    pub use sadp_service::{
+        outcome_fingerprint, Arm, JobBudget, JobEvent, JobId, JobOutcome, JobSource, Priority,
+        RouteRequest, RouteResponse, RouteSummary, Service, ServiceConfig,
     };
     pub use sadp_trace::{
         merge_reports, Counter, EventLog, JsonReport, NoopObserver, Phase, RouteObserver,

@@ -67,7 +67,9 @@ fn all_arms_route_everything() {
 #[test]
 fn dvi_solvers_respect_all_constraints() {
     let netlist = spec().generate(7);
-    let out = Router::new(spec().grid(), netlist, RouterConfig::full(SadpKind::Sim)).run();
+    let out = Router::new(spec().grid(), netlist, RouterConfig::full(SadpKind::Sim))
+        .try_run(&mut NoopObserver)
+        .expect("full flow");
     let problem = DviProblem::build(SadpKind::Sim, &out.solution);
     let heur = solve_heuristic(&problem, &DviParams::default());
     let (ilp, stats) = solve_ilp_lazy(&problem, &LazyIlpOptions::default());
@@ -180,7 +182,9 @@ fn bus_style_netlists_route_clean() {
 fn router_output_is_mask_drc_clean() {
     for kind in [SadpKind::Sim, SadpKind::Sid] {
         let netlist = spec().generate(13);
-        let out = Router::new(spec().grid(), netlist, RouterConfig::full(kind)).run();
+        let out = Router::new(spec().grid(), netlist, RouterConfig::full(kind))
+            .try_run(&mut NoopObserver)
+            .expect("full flow");
         let violations = mask_audit(kind, &out.solution)
             .unwrap_or_else(|(l, e)| panic!("{kind}: layer {l} undecomposable: {e}"));
         assert_eq!(violations, 0, "{kind}: mask DRC violations");
@@ -192,8 +196,12 @@ fn runs_are_deterministic() {
     let netlist_a = spec().generate(5);
     let netlist_b = spec().generate(5);
     assert_eq!(netlist_a, netlist_b);
-    let a = Router::new(spec().grid(), netlist_a, RouterConfig::full(SadpKind::Sim)).run();
-    let b = Router::new(spec().grid(), netlist_b, RouterConfig::full(SadpKind::Sim)).run();
+    let a = Router::new(spec().grid(), netlist_a, RouterConfig::full(SadpKind::Sim))
+        .try_run(&mut NoopObserver)
+        .expect("full flow");
+    let b = Router::new(spec().grid(), netlist_b, RouterConfig::full(SadpKind::Sim))
+        .try_run(&mut NoopObserver)
+        .expect("full flow");
     assert_eq!(a.stats, b.stats);
     let pa = DviProblem::build(SadpKind::Sim, &a.solution);
     let pb = DviProblem::build(SadpKind::Sim, &b.solution);

@@ -14,7 +14,8 @@ fn route_save_reload_audit() {
         netlist.clone(),
         RouterConfig::full(SadpKind::Sim),
     )
-    .run();
+    .try_run(&mut NoopObserver)
+    .expect("full flow");
     assert!(out.routed_all);
 
     // Save both artifacts.

@@ -42,7 +42,9 @@ fn four_layer_grid_has_three_via_layers() {
 fn routes_and_audits_on_four_layers() {
     for kind in SadpKind::ALL {
         let nl = netlist();
-        let out = Router::new(four_layer(24, 24), nl.clone(), RouterConfig::full(kind)).run();
+        let out = Router::new(four_layer(24, 24), nl.clone(), RouterConfig::full(kind))
+            .try_run(&mut NoopObserver)
+            .expect("full flow");
         assert!(out.routed_all, "{kind}");
         assert!(out.congestion_free, "{kind}");
         assert!(out.fvp_free, "{kind}");
@@ -54,7 +56,9 @@ fn routes_and_audits_on_four_layers() {
 #[test]
 fn dvi_handles_stacked_vias() {
     let nl = netlist();
-    let out = Router::new(four_layer(24, 24), nl, RouterConfig::full(SadpKind::Sim)).run();
+    let out = Router::new(four_layer(24, 24), nl, RouterConfig::full(SadpKind::Sim))
+        .try_run(&mut NoopObserver)
+        .expect("full flow");
     let problem = DviProblem::build(SadpKind::Sim, &out.solution);
     // Vias may exist on via layers 0, 1 and 2.
     let layers = problem.via_layers();
@@ -89,7 +93,8 @@ fn m3_wires_can_stack_between_m2_and_m4() {
         nl.clone(),
         RouterConfig::full(SadpKind::Sim),
     )
-    .run();
+    .try_run(&mut NoopObserver)
+    .expect("full flow");
     assert!(out.routed_all && out.congestion_free);
     let audit = full_audit(SadpKind::Sim, &out.solution, &nl);
     assert!(audit.is_clean(), "{audit:?}");

@@ -47,7 +47,9 @@ proptest! {
     fn random_netlists_route_clean(nl in arb_netlist(28), sim in any::<bool>()) {
         let kind = if sim { SadpKind::Sim } else { SadpKind::Sid };
         let grid = RoutingGrid::three_layer(28, 28);
-        let out = Router::new(grid, nl.clone(), RouterConfig::full(kind)).run();
+        let out = Router::new(grid, nl.clone(), RouterConfig::full(kind))
+            .try_run(&mut NoopObserver)
+            .expect("full flow");
         prop_assert!(out.routed_all);
         let audit = full_audit(kind, &out.solution, &nl);
         prop_assert!(audit.is_clean(), "{audit:?}");
