@@ -280,7 +280,16 @@ fn main() {
                 failures += 1;
             }
             if let Some(base_rss) = field(&text, name, "peak_rss_kb") {
-                if base_rss > 0.0 {
+                // A zero on either side means `/proc/self/status` was
+                // unreadable for that run (e.g. a non-Linux host), not
+                // a real measurement — a ratio against it is
+                // meaningless, so the RSS leg is skipped, not gated.
+                if base_rss <= 0.0 || *now_rss == 0 {
+                    eprintln!(
+                        "  baseline check {name}: peak RSS unavailable \
+                         (now {now_rss} kB, baseline {base_rss:.0} kB); RSS leg skipped"
+                    );
+                } else {
                     let rss_delta = (*now_rss as f64 - base_rss) / base_rss * 100.0;
                     let verdict = if rss_delta > rss_tolerance {
                         "FAIL"

@@ -29,7 +29,8 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use sadp_grid::{
-    NetId, Netlist, RouteError, RoutingGrid, RoutingSolution, SadpKind, SolutionStats,
+    DeltaOp, LayoutDelta, Net, NetId, Netlist, Pin, RouteError, RoutingGrid, RoutingSolution,
+    SadpKind, SolutionStats,
 };
 use sadp_trace::{Counter, JsonReport, NoopObserver, Phase, RouteObserver};
 
@@ -591,6 +592,12 @@ impl<'a> RoutingSession<'a> {
         &self.state
     }
 
+    /// The session's pin index (patched in place by
+    /// [`RoutingSession::apply_delta`]), for differential audits.
+    pub fn pin_index(&self) -> &PinIndex {
+        &self.pins
+    }
+
     /// Congestion-phase counters accumulated over every activation so
     /// far.
     pub fn congestion_stats(&self) -> RnrStats {
@@ -1001,6 +1008,203 @@ impl<'a> RoutingSession<'a> {
     /// convenience the [`Router`] wrapper and the bench harness use.
     pub fn run_with(self, obs: &mut impl RouteObserver) -> RoutingOutcome {
         self.finish(obs)
+    }
+
+    /// Warm-starts the session from a layout edit instead of routing
+    /// from scratch (incremental / ECO rerouting).
+    ///
+    /// `edited` must be the session's current netlist with `delta`
+    /// applied ([`LayoutDelta::apply_to_netlist`] on a clone); both
+    /// must outlive the session. The method
+    ///
+    /// 1. computes the minimal victim set ([`crate::eco::analyze`]) —
+    ///    the nets the edit perturbs through occupancy, cost windows,
+    ///    or via-coloring conflicts — against the pre-edit state,
+    /// 2. applies the ops in order, patching occupancy, via tracking,
+    ///    pin seeds, wiring blockages, and the pin index **in place**,
+    /// 3. rips up only the victims, and
+    /// 4. rewinds the phase machinery so the normal `initial_route →
+    ///    negotiate → tpl_removal → ensure_colorable` sequence re-runs
+    ///    warm over just the victims and added nets. Budgets,
+    ///    observers, sharding, and resumability behave exactly as on a
+    ///    cold session.
+    ///
+    /// Emits [`Counter::EcoVictims`] (nets ripped) and
+    /// [`Counter::EcoReused`] (routes kept) under
+    /// [`Phase::InitialRouting`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidNetlist`] / [`RouteError::InvalidGrid`]
+    /// when the delta fails validation or `edited` is not the base
+    /// netlist plus the delta; the recorded fault when the session
+    /// already failed. On error the session is unchanged.
+    pub fn apply_delta(
+        &mut self,
+        edited: &'a Netlist,
+        delta: &LayoutDelta,
+        obs: &mut impl RouteObserver,
+    ) -> Result<(), RouteError> {
+        if let Some(f) = &self.fault {
+            return Err(f.clone());
+        }
+        delta.validate(&self.state.grid, self.netlist)?;
+        let n_add = delta
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::AddNet(_)))
+            .count();
+        if edited.len() != self.netlist.len() + n_add {
+            return Err(RouteError::InvalidNetlist {
+                net: String::new(),
+                reason: format!(
+                    "edited netlist has {} slots, base {} + {} added expects {}",
+                    edited.len(),
+                    self.netlist.len(),
+                    n_add,
+                    self.netlist.len() + n_add
+                ),
+            });
+        }
+        edited.validate(&self.state.grid)?;
+
+        // Perturbation analysis runs against the pre-edit state.
+        let plan = crate::eco::analyze(&self.state, self.netlist, delta);
+
+        // Apply the ops in order, mirroring them on a simulated
+        // netlist so every step sees the definitions in force at that
+        // point. Pin-index edits are batched for one patch pass.
+        let mut sim = self.netlist.clone();
+        let mut pin_removals: Vec<(i32, i32, NetId)> = Vec::new();
+        let mut pin_additions: Vec<(i32, i32, NetId)> = Vec::new();
+        for op in delta.ops() {
+            match op {
+                DeltaOp::AddNet(net) => {
+                    let id = sim.push(net.clone());
+                    self.state.add_net(id, net);
+                    for p in net.pins() {
+                        pin_additions.push((p.x, p.y, id));
+                    }
+                }
+                DeltaOp::RemoveNet(id) => {
+                    let old = sim[*id].clone();
+                    sim.retire(*id);
+                    self.state.remove_net(*id, &old, &sim);
+                    for p in old.pins() {
+                        pin_removals.push((p.x, p.y, *id));
+                    }
+                }
+                DeltaOp::MovePad { net, from, to } => {
+                    let old = sim[*net].clone();
+                    let pins: Vec<Pin> = old
+                        .pins()
+                        .iter()
+                        .map(|&p| if p == *from { *to } else { p })
+                        .collect();
+                    let moved = Net::try_new(old.name(), pins)?;
+                    sim.replace(*net, moved.clone());
+                    self.state.remove_net(*net, &old, &sim);
+                    self.state.add_net(*net, &moved);
+                    for p in old.pins() {
+                        pin_removals.push((p.x, p.y, *net));
+                    }
+                    for p in moved.pins() {
+                        pin_additions.push((p.x, p.y, *net));
+                    }
+                }
+                DeltaOp::AddBlockage { layer, x, y } => {
+                    self.state.set_wire_blockage(*layer, *x, *y, true);
+                }
+                DeltaOp::RemoveBlockage { layer, x, y } => {
+                    self.state.set_wire_blockage(*layer, *x, *y, false);
+                }
+            }
+        }
+        if sim != *edited {
+            // The caller's `edited` netlist diverges from base + delta
+            // — the ids the analysis and the patches assumed would be
+            // wrong, so refuse rather than corrupt the state. (The
+            // occupancy edits above applied `delta`, which is what the
+            // state now consistently reflects; the session keeps its
+            // old netlist binding and stays usable with it only if the
+            // delta was empty, so treat this as a hard input error.)
+            return Err(RouteError::InvalidNetlist {
+                net: String::new(),
+                reason: "edited netlist does not equal base netlist + delta".to_string(),
+            });
+        }
+
+        // Rip the victims; everything else keeps its route, penalties,
+        // and history (the warm start).
+        for &v in &plan.victims {
+            let _ = self.state.uninstall_route(v);
+        }
+        obs.counter(
+            Phase::InitialRouting,
+            Counter::EcoVictims,
+            plan.victims.len() as i64,
+        );
+        obs.counter(
+            Phase::InitialRouting,
+            Counter::EcoReused,
+            self.state.solution.routed_count() as i64,
+        );
+
+        // Patch the CSR pin index in place (ascending-id order is
+        // preserved, so the patched index equals a rebuild).
+        self.pins.patch(&pin_removals, &pin_additions);
+
+        // Rewind the phase machinery: the victims, the added nets, and
+        // any initial-routing work a budget left unattempted become
+        // the new initial-routing work, in the same (HPWL, id) order a
+        // cold session would use; later phases restart their converged
+        // checks from the patched state.
+        let removed: Vec<NetId> = plan.removed.clone();
+        self.failed
+            .retain(|id| !removed.contains(id) && !plan.victims.contains(id));
+        let mut pending: std::collections::BTreeSet<NetId> = plan.victims.iter().copied().collect();
+        if self.initial_work.seeded {
+            pending.extend(
+                self.initial_work.order[self.initial_work.pos..]
+                    .iter()
+                    .copied(),
+            );
+        } else {
+            pending.extend(self.netlist.iter().map(|(id, _)| id));
+        }
+        pending.extend((self.netlist.len()..edited.len()).map(|i| NetId(i as u32)));
+        for id in &removed {
+            pending.remove(id);
+        }
+        let mut order: Vec<NetId> = pending.into_iter().collect();
+        order.sort_by_key(|&id| (edited[id].hpwl(), id));
+        self.initial_work = InitialWork {
+            order,
+            pos: 0,
+            seeded: true,
+        };
+        self.initial_term = None;
+        self.congestion_work = CongestionWork::default();
+        self.congestion_term = None;
+        self.congestion_done = false;
+        self.congestion_clean = false;
+        // If blocked-via enforcement already activated, the blocked
+        // grid stayed exact through the per-via incremental refreshes
+        // above — skip re-running the O(grid) full refresh on the next
+        // TPL activation.
+        self.tpl_work = if self.state.enforce_blocked {
+            TplWork::already_activated()
+        } else {
+            TplWork::default()
+        };
+        self.tpl_term = None;
+        self.tpl_done = false;
+        self.tpl_clean = false;
+        self.coloring_attempts_done = 0;
+        self.coloring_term = None;
+        self.colorable = None;
+        self.netlist = edited;
+        Ok(())
     }
 }
 

@@ -44,6 +44,7 @@ mod bucket;
 pub mod budget;
 pub mod costs;
 pub mod dijkstra;
+pub mod eco;
 pub mod flow;
 pub mod rnr;
 pub mod search;
@@ -53,6 +54,7 @@ pub mod state;
 pub use audit::{full_audit, full_audit_observed, mask_audit, FullAudit};
 pub use budget::{PhaseLimits, RouteBudget, Termination};
 pub use costs::CostParams;
+pub use eco::EcoPlan;
 pub use flow::{
     ConfigError, Router, RouterConfig, RouterConfigBuilder, RoutingOutcome, RoutingSession,
 };

@@ -59,9 +59,10 @@ impl RnrStats {
 /// array) instead of a `HashMap<(i32, i32), Vec<NetId>>`: the R&R
 /// inner loop queries it once per violation, and on the hot path the
 /// coordinate hashing and per-cell `Vec`s dominated the lookup cost.
-/// Derived from the immutable netlist, so callers build it once (see
-/// `RoutingSession::new`) and pass it to both R&R phases.
-#[derive(Debug, Clone, Default)]
+/// Derived from the netlist, so callers build it once (see
+/// `RoutingSession::new`) and pass it to both R&R phases; an ECO edit
+/// patches it through [`PinIndex::patch`] instead of rebuilding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PinIndex {
     width: i32,
     height: i32,
@@ -115,6 +116,73 @@ impl PinIndex {
         }
         let c = (y as usize) * (self.width as usize) + x as usize;
         &self.nets[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Applies an ECO edit in place: drops `remove` entries and merges
+    /// `add` entries (each `(x, y, net)`), without re-walking the
+    /// netlist. One linear pass over the CSR arrays; per-cell entries
+    /// stay in ascending-id order, so the patched index is equal (by
+    /// `==`) to a fresh [`PinIndex::build`] of the edited netlist.
+    /// Out-of-bounds entries are ignored, mirroring `build`.
+    pub fn patch(&mut self, remove: &[(i32, i32, NetId)], add: &[(i32, i32, NetId)]) {
+        use std::collections::HashMap;
+        if remove.is_empty() && add.is_empty() {
+            return;
+        }
+        let cell = |x: i32, y: i32| -> Option<usize> {
+            (x >= 0 && y >= 0 && x < self.width && y < self.height)
+                .then(|| (y as usize) * (self.width as usize) + x as usize)
+        };
+        let mut removals: HashMap<usize, Vec<NetId>> = HashMap::new();
+        for &(x, y, id) in remove {
+            if let Some(c) = cell(x, y) {
+                removals.entry(c).or_default().push(id);
+            }
+        }
+        let mut additions: HashMap<usize, Vec<NetId>> = HashMap::new();
+        for &(x, y, id) in add {
+            if let Some(c) = cell(x, y) {
+                additions.entry(c).or_default().push(id);
+            }
+        }
+        for ids in additions.values_mut() {
+            ids.sort_unstable();
+        }
+        let cells = (self.width as usize) * (self.height as usize);
+        let mut nets = Vec::with_capacity(
+            (self.nets.len() + add.len()).saturating_sub(remove.len().min(self.nets.len())),
+        );
+        let mut offsets = vec![0u32; cells + 1];
+        for c in 0..cells {
+            let old = &self.nets[self.offsets[c] as usize..self.offsets[c + 1] as usize];
+            let empty_r = Vec::new();
+            let empty_a = Vec::new();
+            let gone = removals.get(&c).unwrap_or(&empty_r);
+            let fresh = additions.get(&c).unwrap_or(&empty_a);
+            // Merge the surviving old entries (ascending) with the new
+            // ones (ascending), preserving the global ascending-id
+            // invariant `build` establishes.
+            let mut fi = 0usize;
+            let mut gone_left = gone.clone();
+            for &id in old {
+                if let Some(k) = gone_left.iter().position(|&g| g == id) {
+                    gone_left.swap_remove(k);
+                    continue;
+                }
+                while fi < fresh.len() && fresh[fi] < id {
+                    nets.push(fresh[fi]);
+                    fi += 1;
+                }
+                nets.push(id);
+            }
+            while fi < fresh.len() {
+                nets.push(fresh[fi]);
+                fi += 1;
+            }
+            offsets[c + 1] = nets.len() as u32;
+        }
+        self.offsets = offsets;
+        self.nets = nets;
     }
 }
 
@@ -466,6 +534,21 @@ pub struct TplWork {
     victims: Vec<NetId>,
 }
 
+impl TplWork {
+    /// Fresh work that remembers blocked-via enforcement is already
+    /// on. Used by ECO warm restarts: once a session's first TPL
+    /// activation has run `refresh_all_blocked`, every later via
+    /// install/uninstall keeps the blocked grid exact through
+    /// `refresh_blocked_around`, so re-activating with a full-grid
+    /// refresh would recompute identical values at O(grid) cost.
+    pub(crate) fn already_activated() -> TplWork {
+        TplWork {
+            activated: true,
+            ..TplWork::default()
+        }
+    }
+}
+
 /// Via-layer TPL violation removal based R&R (Algorithm 2): blocks
 /// via locations that would create FVPs, then rips and reroutes nets
 /// until all FVPs (and any congestion) are gone.
@@ -803,6 +886,41 @@ mod tests {
         let grid = RoutingGrid::three_layer(w, h);
         let st = RouterState::new(grid, &nl, SadpKind::Sim, CostParams::default(), true, true);
         (nl, st)
+    }
+
+    #[test]
+    fn pin_index_patch_matches_rebuild() {
+        let grid = RoutingGrid::three_layer(16, 16);
+        let mut nl = Netlist::new();
+        nl.push(Net::new("a", vec![Pin::new(1, 1), Pin::new(8, 1)]));
+        nl.push(Net::new("b", vec![Pin::new(1, 1), Pin::new(9, 5)]));
+        nl.push(Net::new("c", vec![Pin::new(4, 4), Pin::new(12, 4)]));
+        let mut pins = PinIndex::build(&grid, &nl);
+        // Retire b, move c's pad (4,4) -> (5,5), add d pinned at a
+        // shared cell.
+        nl.retire(NetId(1));
+        nl.replace(
+            NetId(2),
+            Net::new("c", vec![Pin::new(5, 5), Pin::new(12, 4)]),
+        );
+        let d = nl.push(Net::new("d", vec![Pin::new(1, 1), Pin::new(5, 5)]));
+        pins.patch(
+            &[
+                (1, 1, NetId(1)),
+                (9, 5, NetId(1)),
+                (4, 4, NetId(2)),
+                (12, 4, NetId(2)),
+            ],
+            &[(5, 5, NetId(2)), (12, 4, NetId(2)), (1, 1, d), (5, 5, d)],
+        );
+        let rebuilt = PinIndex::build(&grid, &nl);
+        assert_eq!(pins, rebuilt);
+        assert_eq!(pins.nets_at(1, 1), &[NetId(0), d]);
+        assert_eq!(pins.nets_at(5, 5), &[NetId(2), d]);
+        assert_eq!(pins.nets_at(9, 5), &[] as &[NetId]);
+        // Out-of-bounds entries are ignored like in build.
+        pins.patch(&[(99, 0, NetId(0))], &[(-1, 2, d)]);
+        assert_eq!(pins, rebuilt);
     }
 
     #[test]

@@ -657,6 +657,9 @@ pub fn route_connection(
             if tree_points.contains(&v) && v != target {
                 continue; // never traverse the existing tree
             }
+            if state.wire_blocked[v] {
+                continue; // hard layout blockage
+            }
             let preferred = grid.preferred_axis(p.layer) == dir.axis();
             let step = params.wire_step(preferred) + state.vertex_cost(v, net) + extra;
             let g2 = g + step;
@@ -677,6 +680,9 @@ pub fn route_connection(
             }
             if tree_points.contains(&v) && v != target {
                 continue;
+            }
+            if state.wire_blocked[v] {
+                continue; // hard layout blockage
             }
             let vl = p.layer.min(v.layer);
             let Some(via_cost) = state.via_cost(vl, p.x, p.y) else {
@@ -815,6 +821,9 @@ pub fn route_connection_reference(
             if tree_points.contains(&v) && v != target {
                 continue;
             }
+            if state.wire_blocked[v] {
+                continue; // hard layout blockage
+            }
             let preferred = grid.preferred_axis(p.layer) == dir.axis();
             let step = params.wire_step(preferred) + state.vertex_cost(v, net) + extra;
             relax(
@@ -839,6 +848,9 @@ pub fn route_connection_reference(
             }
             if tree_points.contains(&v) && v != target {
                 continue;
+            }
+            if state.wire_blocked[v] {
+                continue; // hard layout blockage
             }
             let vl = p.layer.min(v.layer);
             let Some(via_cost) = state.via_cost(vl, p.x, p.y) else {

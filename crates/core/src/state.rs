@@ -68,6 +68,10 @@ pub struct RouterState {
     /// Via locations blocked because an insertion would create an FVP
     /// (Algorithm 2).
     pub blocked: DenseGrid<bool>,
+    /// Metal points blocked for wiring by layout blockages (ECO
+    /// edits). Unlike `blocked`, these are hard obstacles: the path
+    /// search never occupies them, independent of `enforce_blocked`.
+    pub wire_blocked: DenseGrid<bool>,
     /// Enforce `blocked` during path search (phase 2).
     pub enforce_blocked: bool,
     /// FVP index per via layer.
@@ -100,6 +104,7 @@ impl RouterState {
             via_penalty: DenseGrid::new(via_layers, w, h, 0),
             conflict_count: DenseGrid::new(via_layers, w, h, 0),
             blocked: DenseGrid::new(via_layers, w, h, false),
+            wire_blocked: DenseGrid::new(metal_layers, w, h, false),
             enforce_blocked: false,
             fvp: (0..via_layers)
                 .map(|_| FvpIndex::new(w.max(3), h.max(3)))
@@ -376,6 +381,76 @@ impl RouterState {
                 out.push(o);
             }
         }
+    }
+
+    /// Sets or clears a wiring blockage at a metal point. Blocked
+    /// points are hard obstacles for the path search; routes crossing
+    /// a freshly blocked point must be ripped up by the caller.
+    pub fn set_wire_blockage(&mut self, layer: u8, x: i32, y: i32, blocked: bool) {
+        let p = GridPoint::new(layer, x, y);
+        if self.wire_blocked.contains(p) {
+            self.wire_blocked[p] = blocked;
+        }
+    }
+
+    /// Seeds a net appended (or re-seeded after a pad move) by an ECO
+    /// edit: grows the per-net arrays if needed and installs the pin
+    /// pads and pin via stacks exactly as [`RouterState::new`] does.
+    ///
+    /// The slot must be empty: no installed route, no journal.
+    pub fn add_net(&mut self, id: NetId, net: &Net) {
+        if id.index() >= self.journals.len() {
+            self.journals.resize_with(id.index() + 1, Vec::new);
+        }
+        self.solution.ensure_len(id.index() + 1);
+        debug_assert!(self.solution.route(id).is_none(), "add_net over a route");
+        debug_assert!(
+            self.journals[id.index()].is_empty(),
+            "add_net over a journal"
+        );
+        let stub = pin_stub(&self.grid, net);
+        for &via in stub.vias() {
+            self.pin_vias.insert((via.x, via.y));
+            self.add_via_tracking(via);
+        }
+        self.view.add_route(id, &stub);
+    }
+
+    /// Removes a net's presence from the state for an ECO edit: rips
+    /// its route (if any) and retracts its pin pads and via stacks.
+    ///
+    /// `net` is the net's *old* definition (the netlist may already be
+    /// edited); `netlist` is the *post-edit* netlist, consulted so pin
+    /// via stacks shared with a surviving net stay seeded. Shared pin
+    /// positions keep their FVP via bit and `pin_vias` entry, but the
+    /// removed net's TPL conflict contribution is still retracted —
+    /// mirroring how [`RouterState::new`] counts one contribution per
+    /// net even on shared positions.
+    pub fn remove_net(&mut self, id: NetId, net: &Net, netlist: &Netlist) {
+        self.uninstall_route(id);
+        let stub = pin_stub(&self.grid, net);
+        for &via in stub.vias() {
+            let shared = netlist
+                .iter()
+                .filter(|&(other, _)| other != id)
+                .any(|(_, n)| n.pins().iter().any(|p| (p.x, p.y) == (via.x, via.y)));
+            if shared {
+                // Keep the via bit; retract only this net's conflict
+                // contribution.
+                let vl = via.below;
+                for (dx, dy) in conflict_offsets() {
+                    let p = GridPoint::new(vl, via.x + dx, via.y + dy);
+                    if let Some(c) = self.conflict_count.get_mut(p) {
+                        *c -= 1;
+                    }
+                }
+                self.refresh_blocked_around(vl, via.x, via.y);
+            } else {
+                self.remove_via_tracking(via);
+                self.pin_vias.remove(&(via.x, via.y));
+            }
+        }
+        self.view.remove_route(id, &stub);
     }
 }
 

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod delta;
 pub mod dense;
 pub mod error;
 pub mod geom;
@@ -32,6 +33,7 @@ pub mod io;
 pub mod netlist;
 pub mod solution;
 
+pub use delta::{parse_delta, write_delta, DeltaOp, LayoutDelta};
 pub use dense::DenseGrid;
 pub use error::RouteError;
 pub use geom::{Axis, Dir, GridPoint, Parity, Rect, TurnKind};

@@ -118,9 +118,17 @@ impl Net {
 
 /// An ordered collection of nets; the order is the sequential routing
 /// order of the paper's framework.
+///
+/// Ids are slot indices and stay stable for the netlist's lifetime:
+/// removing a net ([`Netlist::retire`]) leaves a tombstone rather than
+/// shifting later ids, so per-net arrays indexed by `NetId` in the
+/// router survive incremental edits. [`Netlist::len`] counts slots
+/// (including tombstones — it is the right size for such arrays);
+/// [`Netlist::active_len`] counts live nets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Netlist {
     nets: Vec<Net>,
+    retired: Vec<bool>,
 }
 
 impl Netlist {
@@ -133,35 +141,76 @@ impl Netlist {
     pub fn push(&mut self, net: Net) -> NetId {
         let id = NetId(self.nets.len() as u32);
         self.nets.push(net);
+        self.retired.push(false);
         id
     }
 
-    /// Number of nets.
+    /// Number of net slots, including retired ones. Per-net arrays
+    /// indexed by `NetId` should use this size.
     pub fn len(&self) -> usize {
         self.nets.len()
     }
 
-    /// `true` when the netlist holds no nets.
+    /// Number of live (non-retired) nets.
+    pub fn active_len(&self) -> usize {
+        self.nets.len() - self.retired.iter().filter(|&&r| r).count()
+    }
+
+    /// `true` when the netlist holds no net slots.
     pub fn is_empty(&self) -> bool {
         self.nets.is_empty()
     }
 
-    /// Borrows a net by id.
+    /// Borrows a live net by id; `None` for unknown or retired ids.
     pub fn get(&self, id: NetId) -> Option<&Net> {
+        if self.is_retired(id) {
+            return None;
+        }
         self.nets.get(id.index())
     }
 
-    /// Iterates over `(id, net)` pairs in routing order.
+    /// Retires a net: its slot becomes a tombstone and its id is never
+    /// reused. Returns `false` for unknown or already-retired ids.
+    pub fn retire(&mut self, id: NetId) -> bool {
+        match self.retired.get_mut(id.index()) {
+            Some(r) if !*r => {
+                *r = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `true` when `id` names a retired slot.
+    pub fn is_retired(&self, id: NetId) -> bool {
+        self.retired.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Replaces the net in a live slot, keeping its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown or retired ids.
+    pub fn replace(&mut self, id: NetId, net: Net) {
+        assert!(
+            !self.is_retired(id) && id.index() < self.nets.len(),
+            "replace on unknown or retired {id}"
+        );
+        self.nets[id.index()] = net;
+    }
+
+    /// Iterates over `(id, net)` pairs of live nets in routing order.
     pub fn iter(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
         self.nets
             .iter()
             .enumerate()
+            .filter(|&(i, _)| !self.retired[i])
             .map(|(i, n)| (NetId(i as u32), n))
     }
 
-    /// Total pin count across all nets.
+    /// Total pin count across live nets.
     pub fn pin_count(&self) -> usize {
-        self.nets.iter().map(|n| n.pins().len()).sum()
+        self.iter().map(|(_, n)| n.pins().len()).sum()
     }
 
     /// Cross-validates the netlist against `grid`: every pin must lie
@@ -200,15 +249,17 @@ impl std::ops::Index<NetId> for Netlist {
 
 impl FromIterator<Net> for Netlist {
     fn from_iter<I: IntoIterator<Item = Net>>(iter: I) -> Self {
-        Netlist {
-            nets: iter.into_iter().collect(),
-        }
+        let nets: Vec<Net> = iter.into_iter().collect();
+        let retired = vec![false; nets.len()];
+        Netlist { nets, retired }
     }
 }
 
 impl Extend<Net> for Netlist {
     fn extend<I: IntoIterator<Item = Net>>(&mut self, iter: I) {
-        self.nets.extend(iter);
+        for net in iter {
+            self.push(net);
+        }
     }
 }
 
@@ -246,6 +297,36 @@ mod tests {
         assert_eq!(nl.len(), 2);
         assert_eq!(nl.pin_count(), 4);
         assert!(nl.get(NetId(5)).is_none());
+    }
+
+    #[test]
+    fn retired_slots_tombstone_but_keep_ids_stable() {
+        let mut nl = Netlist::new();
+        let a = nl.push(Net::new("a", vec![Pin::new(0, 0), Pin::new(1, 0)]));
+        let b = nl.push(Net::new("b", vec![Pin::new(2, 2), Pin::new(3, 3)]));
+        assert!(nl.retire(a));
+        assert!(!nl.retire(a), "double retire is rejected");
+        assert!(!nl.retire(NetId(9)));
+        assert_eq!(nl.len(), 2, "len keeps counting slots");
+        assert_eq!(nl.active_len(), 1);
+        assert!(nl.get(a).is_none());
+        assert!(nl.is_retired(a));
+        assert_eq!(nl.pin_count(), 2);
+        let ids: Vec<NetId> = nl.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![b]);
+        let c = nl.push(Net::new("c", vec![Pin::new(4, 4), Pin::new(5, 5)]));
+        assert_eq!(c, NetId(2), "retired slots are never reused");
+        nl.replace(b, Net::new("b2", vec![Pin::new(2, 2), Pin::new(7, 7)]));
+        assert_eq!(nl[b].name(), "b2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn replace_rejects_retired_slots() {
+        let mut nl = Netlist::new();
+        let a = nl.push(Net::new("a", vec![Pin::new(0, 0), Pin::new(1, 0)]));
+        nl.retire(a);
+        nl.replace(a, Net::new("x", vec![Pin::new(0, 0), Pin::new(1, 0)]));
     }
 
     #[test]

@@ -382,6 +382,15 @@ impl RoutingSolution {
         self.routes[id.index()] = Some(route);
     }
 
+    /// Grows the per-net slot array to at least `len` slots (new slots
+    /// are unrouted). Used by incremental edits that append nets to
+    /// the netlist after the solution was sized.
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.routes.len() < len {
+            self.routes.resize(len, None);
+        }
+    }
+
     /// Removes and returns the route of `id`.
     pub fn take_route(&mut self, id: NetId) -> Option<RoutedNet> {
         self.routes[id.index()].take()

@@ -98,10 +98,24 @@ pub enum JobSource {
         /// Generator seed.
         seed: u64,
     },
+    /// An incremental (ECO) job: route `base` to convergence, then
+    /// apply `delta` through `RoutingSession::apply_delta` and finish
+    /// warm. The executor reuses a cached base layout when one is
+    /// available.
+    Eco {
+        /// The layout the delta edits. Nesting `Eco` inside `Eco` is
+        /// rejected.
+        base: Box<JobSource>,
+        /// The edit, in the `sadp_grid::parse_delta` text form.
+        delta: String,
+    },
 }
 
 impl JobSource {
     /// Materializes the grid and netlist, or a reason they can't be.
+    /// For [`JobSource::Eco`] this yields the **base** layout (with
+    /// the delta parsed and validated against it); the executor
+    /// applies the delta after routing the base.
     pub fn materialize(&self) -> Result<(RoutingGrid, Netlist), String> {
         match self {
             JobSource::Inline { layout } => {
@@ -123,11 +137,23 @@ impl JobSource {
                 let spec = benchgen::BenchSpec::synthetic(*nets);
                 Ok((spec.grid(), spec.generate(*seed)))
             }
+            JobSource::Eco { base, delta } => {
+                if matches!(**base, JobSource::Eco { .. }) {
+                    return Err("nested eco sources are not supported".into());
+                }
+                let (grid, netlist) = base.materialize()?;
+                let d =
+                    sadp_grid::parse_delta(delta).map_err(|e| format!("delta parse error: {e}"))?;
+                d.validate(&grid, &netlist)
+                    .map_err(|e| format!("invalid delta: {e}"))?;
+                Ok((grid, netlist))
+            }
         }
     }
 
-    /// Canonical text used for [`RouteRequest::run_id`] derivation.
-    fn canonical(&self, out: &mut String) {
+    /// Canonical text used for [`RouteRequest::run_id`] derivation and
+    /// the executor's layout-cache key.
+    pub(crate) fn canonical(&self, out: &mut String) {
         use std::fmt::Write as _;
         match self {
             JobSource::Inline { layout } => {
@@ -138,6 +164,11 @@ impl JobSource {
             }
             JobSource::Synthetic { nets, seed } => {
                 let _ = write!(out, "synthetic:{nets}:{seed}");
+            }
+            JobSource::Eco { base, delta } => {
+                out.push_str("eco:");
+                base.canonical(out);
+                let _ = write!(out, ":{:016x}", fnv1a(delta.as_bytes()));
             }
         }
     }

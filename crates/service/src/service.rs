@@ -36,10 +36,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use sadp_grid::{Netlist, RoutingGrid};
 use sadp_router::{RoutingSession, Termination};
-use sadp_trace::{Counter, JsonReport, Phase, RouteObserver};
+use sadp_trace::{fnv1a, Counter, JsonReport, Phase, RouteObserver};
 
-use crate::job::{error_kind, summarize, JobEvent, JobId, JobOutcome, RouteRequest, RouteResponse};
+use crate::job::{
+    error_kind, summarize, JobEvent, JobId, JobOutcome, JobSource, RouteRequest, RouteResponse,
+};
 
 /// Tuning of a [`Service`] instance.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +59,10 @@ pub struct ServiceConfig {
     /// Per-job progress-event buffer cap; overflow is dropped and
     /// counted in [`RouteResponse::dropped_events`].
     pub event_cap: usize,
+    /// Maximum generated layouts kept in the fingerprint-keyed cache
+    /// (LRU-evicted). `0` disables caching. Repeated `Spec`/`Synthetic`
+    /// jobs (including eco bases) skip regeneration on a hit.
+    pub layout_cache_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +72,7 @@ impl Default for ServiceConfig {
             queue_cap: 65_536,
             slice_iters: 64,
             event_cap: 256,
+            layout_cache_cap: 16,
         }
     }
 }
@@ -218,6 +226,107 @@ struct Inner {
     work_cv: Condvar,
     done_cv: Condvar,
     config: ServiceConfig,
+    cache: LayoutCache,
+}
+
+/// A fingerprint-keyed, LRU-evicted cache of generated layouts.
+///
+/// Keyed by the FNV-1a hash of the source's canonical text (the same
+/// text `run_id` hashes), so two submissions describing the same
+/// `Spec`/`Synthetic` layout share one generation. `Inline` sources
+/// bypass it — the layout text is already in hand, and caching would
+/// hold a second copy for no generation savings.
+struct LayoutCache {
+    inner: Mutex<CacheInner>,
+    cap: usize,
+}
+
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct CacheEntry {
+    key: u64,
+    last_used: u64,
+    grid: RoutingGrid,
+    netlist: Netlist,
+}
+
+impl LayoutCache {
+    fn new(cap: usize) -> LayoutCache {
+        LayoutCache {
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            cap,
+        }
+    }
+
+    /// Materializes `source`, reusing a cached layout when one exists.
+    /// The third element is the verdict for the job report:
+    /// `"hit"`, `"miss"`, or `"bypass"`.
+    fn fetch(&self, source: &JobSource) -> Result<(RoutingGrid, Netlist, &'static str), String> {
+        let cacheable =
+            matches!(source, JobSource::Spec { .. } | JobSource::Synthetic { .. }) && self.cap > 0;
+        if !cacheable {
+            let (grid, netlist) = source.materialize()?;
+            return Ok((grid, netlist, "bypass"));
+        }
+        let mut canon = String::new();
+        source.canonical(&mut canon);
+        let key = fnv1a(canon.as_bytes());
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+                entry.last_used = tick;
+                let out = (entry.grid.clone(), entry.netlist.clone(), "hit");
+                inner.hits += 1;
+                return Ok(out);
+            }
+            inner.misses += 1;
+        }
+        // Generate outside the lock: layout generation is the
+        // expensive part, and concurrent misses on the same key only
+        // cost a duplicate generation, never a wrong answer.
+        let (grid, netlist) = source.materialize()?;
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.iter().any(|e| e.key == key) {
+            if inner.entries.len() >= self.cap {
+                if let Some(lru) =
+                    (0..inner.entries.len()).min_by_key(|&i| inner.entries[i].last_used)
+                {
+                    inner.entries.swap_remove(lru);
+                }
+            }
+            inner.entries.push(CacheEntry {
+                key,
+                last_used: tick,
+                grid: grid.clone(),
+                netlist: netlist.clone(),
+            });
+        }
+        Ok((grid, netlist, "miss"))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[cfg(test)]
+    fn stats(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.hits, inner.misses)
+    }
 }
 
 /// A long-lived routing service. See the [module docs](self) for the
@@ -247,6 +356,7 @@ impl Service {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             config,
+            cache: LayoutCache::new(config.layout_cache_cap),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -473,7 +583,7 @@ fn worker_loop(inner: &Inner) {
         }
         let slice = inner.config.slice_iters.max(1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(&request, &shared, slice)
+            execute_job(&request, &shared, slice, &inner.cache)
         }))
         .unwrap_or_else(|p| JobOutcome::Failed {
             kind: "panic".into(),
@@ -552,18 +662,108 @@ impl RouteObserver for BridgeObserver<'_> {
     }
 }
 
-fn execute_job(request: &RouteRequest, shared: &JobShared, base_slice: usize) -> JobOutcome {
+/// Drives `session` to a terminal point under the job's budget,
+/// slicing for cancellation. Returns `true` iff the job was cancelled
+/// mid-drive. Called once for ordinary jobs, twice for eco jobs
+/// (cold base, then warm post-delta) — the deadline spans both.
+fn drive_session(
+    session: &mut RoutingSession<'_>,
+    request: &RouteRequest,
+    shared: &JobShared,
+    obs: &mut BridgeObserver<'_>,
+    base_slice: usize,
+    deadline: Option<Instant>,
+) -> bool {
     let cancelled = || shared.cancel.load(Ordering::Relaxed);
-    if cancelled() {
+    // An expansion cap cuts searches mid-reroute, so re-activating it
+    // per slice would change the outcome. Honor it with a single
+    // unsliced activation instead (documented cancellation-latency
+    // tradeoff for expansion-capped jobs).
+    let sliced = request.budget.max_expansions.is_none();
+    let user_cap = request.budget.max_phase_iters.unwrap_or(usize::MAX);
+    let mut slice = base_slice.min(user_cap).max(1);
+
+    loop {
+        if cancelled() {
+            obs.emit(JobEvent::Cancelling);
+            return true;
+        }
+        let mut budget = request.budget.to_route_budget();
+        if sliced {
+            budget = budget.with_max_phase_iters(slice);
+            if let Some(d) = deadline {
+                budget = budget.with_deadline(d.saturating_duration_since(Instant::now()));
+            }
+        }
+        session.set_budget(budget);
+        session.initial_route(obs);
+        session.negotiate(obs);
+        session.tpl_removal(obs);
+        session.ensure_colorable(obs);
+        if session.converged() || !sliced {
+            // A single unsliced activation is always terminal: the
+            // user's own budget did whatever stopping there was to do.
+            return false;
+        }
+        match session.termination() {
+            // Deadline/expansion exhaustion is terminal: try_finish
+            // finalizes the partial outcome under the expired budget.
+            Termination::Deadline | Termination::ExpansionCap => return false,
+            Termination::IterationCap => {
+                if slice >= user_cap {
+                    // The *user's* cap stopped the phase: terminal.
+                    return false;
+                }
+                slice = slice.saturating_mul(2).min(user_cap);
+            }
+            Termination::Converged => return false,
+        }
+    }
+}
+
+fn execute_job(
+    request: &RouteRequest,
+    shared: &JobShared,
+    base_slice: usize,
+    cache: &LayoutCache,
+) -> JobOutcome {
+    if shared.cancel.load(Ordering::Relaxed) {
         return JobOutcome::Cancelled;
     }
-    let (grid, netlist) = match request.source.materialize() {
+    let fail_source = |error: String| JobOutcome::Failed {
+        kind: "source".into(),
+        error,
+    };
+    // Split an eco job into its base source and delta text; ordinary
+    // jobs are a base with no delta.
+    let (base_source, delta_text) = match &request.source {
+        JobSource::Eco { base, delta } => {
+            if matches!(**base, JobSource::Eco { .. }) {
+                return fail_source("nested eco sources are not supported".into());
+            }
+            (&**base, Some(delta.as_str()))
+        }
+        source => (source, None),
+    };
+    let (grid, netlist, cache_verdict) = match cache.fetch(base_source) {
         Ok(x) => x,
-        Err(error) => {
-            return JobOutcome::Failed {
-                kind: "source".into(),
-                error,
+        Err(error) => return fail_source(error),
+    };
+    // Parse and apply the delta up front (the edited netlist must
+    // outlive the session that warm-restarts onto it).
+    let eco = match delta_text {
+        None => None,
+        Some(text) => {
+            let delta = match sadp_grid::parse_delta(text) {
+                Ok(d) => d,
+                Err(e) => return fail_source(format!("delta parse error: {e}")),
             };
+            if let Err(e) = delta.validate(&grid, &netlist) {
+                return fail_source(format!("invalid delta: {e}"));
+            }
+            let mut edited = netlist.clone();
+            delta.apply_to_netlist(&mut edited);
+            Some((delta, edited))
         }
     };
     let config = match request.router_config() {
@@ -581,6 +781,7 @@ fn execute_job(request: &RouteRequest, shared: &JobShared, base_slice: usize) ->
         announced: [false; Phase::ALL.len()],
         ended: [false; Phase::ALL.len()],
     };
+    obs.note("layout_cache", cache_verdict);
 
     let mut session = match RoutingSession::try_new(&grid, &netlist, config) {
         Ok(s) => s,
@@ -597,49 +798,33 @@ fn execute_job(request: &RouteRequest, shared: &JobShared, base_slice: usize) ->
         .budget
         .deadline_ms
         .map(|ms| started + Duration::from_millis(ms));
-    // An expansion cap cuts searches mid-reroute, so re-activating it
-    // per slice would change the outcome. Honor it with a single
-    // unsliced activation instead (documented cancellation-latency
-    // tradeoff for expansion-capped jobs).
-    let sliced = request.budget.max_expansions.is_none();
-    let user_cap = request.budget.max_phase_iters.unwrap_or(usize::MAX);
-    let mut slice = base_slice.min(user_cap).max(1);
 
-    loop {
-        if cancelled() {
-            obs.emit(JobEvent::Cancelling);
+    if drive_session(
+        &mut session,
+        request,
+        shared,
+        &mut obs,
+        base_slice,
+        deadline,
+    ) {
+        return JobOutcome::Cancelled;
+    }
+    if let Some((delta, edited)) = &eco {
+        if let Err(e) = session.apply_delta(edited, delta, &mut obs) {
+            return JobOutcome::Failed {
+                kind: error_kind(&e).into(),
+                error: e.to_string(),
+            };
+        }
+        if drive_session(
+            &mut session,
+            request,
+            shared,
+            &mut obs,
+            base_slice,
+            deadline,
+        ) {
             return JobOutcome::Cancelled;
-        }
-        let mut budget = request.budget.to_route_budget();
-        if sliced {
-            budget = budget.with_max_phase_iters(slice);
-            if let Some(d) = deadline {
-                budget = budget.with_deadline(d.saturating_duration_since(Instant::now()));
-            }
-        }
-        session.set_budget(budget);
-        session.initial_route(&mut obs);
-        session.negotiate(&mut obs);
-        session.tpl_removal(&mut obs);
-        session.ensure_colorable(&mut obs);
-        if session.converged() || !sliced {
-            // A single unsliced activation is always terminal: the
-            // user's own budget did whatever stopping there was to do.
-            break;
-        }
-        match session.termination() {
-            // Deadline/expansion exhaustion is terminal: try_finish
-            // below finalizes the partial outcome under the expired
-            // budget.
-            Termination::Deadline | Termination::ExpansionCap => break,
-            Termination::IterationCap => {
-                if slice >= user_cap {
-                    // The *user's* cap stopped the phase: terminal.
-                    break;
-                }
-                slice = slice.saturating_mul(2).min(user_cap);
-            }
-            Termination::Converged => break,
         }
     }
 
@@ -710,6 +895,34 @@ mod tests {
         assert_eq!(sched.pick(), Some(JobId(1)));
         assert_eq!(sched.pick(), Some(JobId(2)));
         assert_eq!(sched.pick(), None);
+    }
+
+    #[test]
+    fn layout_cache_hits_evicts_and_bypasses() {
+        let cache = LayoutCache::new(2);
+        let a = JobSource::Synthetic { nets: 4, seed: 1 };
+        let (grid1, nl1, v1) = cache.fetch(&a).unwrap();
+        assert_eq!(v1, "miss");
+        let (grid2, nl2, v2) = cache.fetch(&a).unwrap();
+        assert_eq!(v2, "hit");
+        assert_eq!(grid1.width(), grid2.width());
+        assert_eq!(nl1, nl2);
+
+        // Two more distinct keys overflow the cap; LRU keeps len <= 2.
+        for nets in [5, 6] {
+            let (_, _, v) = cache
+                .fetch(&JobSource::Synthetic { nets, seed: 1 })
+                .unwrap();
+            assert_eq!(v, "miss");
+        }
+        assert!(cache.lock().entries.len() <= 2);
+        assert_eq!(cache.stats(), (1, 3));
+
+        // A zero-cap cache always bypasses.
+        let off = LayoutCache::new(0);
+        let (_, _, v) = off.fetch(&a).unwrap();
+        assert_eq!(v, "bypass");
+        assert_eq!(off.stats(), (0, 0));
     }
 
     #[test]

@@ -256,19 +256,14 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Decodes a request object into a typed [`RouteRequest`].
-///
-/// # Errors
-///
-/// A message naming the missing/invalid field.
-pub fn decode_request(v: &Value) -> Result<RouteRequest, String> {
-    let source = v.get("source").ok_or("missing field: source")?;
-    let source = if let Some(layout) = source.get("inline").and_then(Value::as_str) {
-        JobSource::Inline {
+/// Decodes a source object (recursing one level for `eco` bases).
+fn decode_source(source: &Value) -> Result<JobSource, String> {
+    if let Some(layout) = source.get("inline").and_then(Value::as_str) {
+        Ok(JobSource::Inline {
             layout: layout.into(),
-        }
+        })
     } else if let Some(name) = source.get("spec").and_then(Value::as_str) {
-        JobSource::Spec {
+        Ok(JobSource::Spec {
             name: name.into(),
             scale: source
                 .get("scale")
@@ -280,19 +275,37 @@ pub fn decode_request(v: &Value) -> Result<RouteRequest, String> {
                 .map(|s| s.as_u64().ok_or("invalid seed"))
                 .transpose()?
                 .unwrap_or(1),
-        }
+        })
     } else if let Some(nets) = source.get("synthetic").and_then(Value::as_u64) {
-        JobSource::Synthetic {
+        Ok(JobSource::Synthetic {
             nets: nets as usize,
             seed: source
                 .get("seed")
                 .map(|s| s.as_u64().ok_or("invalid seed"))
                 .transpose()?
                 .unwrap_or(1),
-        }
+        })
+    } else if let Some(base) = source.get("eco") {
+        let delta = source
+            .get("delta")
+            .and_then(Value::as_str)
+            .ok_or("eco source needs a delta string")?;
+        Ok(JobSource::Eco {
+            base: Box::new(decode_source(base)?),
+            delta: delta.into(),
+        })
     } else {
-        return Err("source needs one of: inline, spec, synthetic".into());
-    };
+        Err("source needs one of: inline, spec, synthetic, eco".into())
+    }
+}
+
+/// Decodes a request object into a typed [`RouteRequest`].
+///
+/// # Errors
+///
+/// A message naming the missing/invalid field.
+pub fn decode_request(v: &Value) -> Result<RouteRequest, String> {
+    let source = decode_source(v.get("source").ok_or("missing field: source")?)?;
 
     let kind = match v.get("kind").and_then(Value::as_str).unwrap_or("SIM") {
         "SIM" | "sim" => SadpKind::Sim,
@@ -610,6 +623,24 @@ mod tests {
         let v = parse(r#""a\"b\\c\ndAé""#).unwrap();
         assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
         assert_eq!(escape("a\"b\\c\nd"), r#"a\"b\\c\nd"#);
+    }
+
+    #[test]
+    fn decode_handles_eco_sources() {
+        let v = parse(
+            r#"{"source":{"eco":{"spec":"ecc","scale":0.05,"seed":1},"delta":"block 1 3 4\n"}}"#,
+        )
+        .unwrap();
+        let req = decode_request(&v).unwrap();
+        match req.source {
+            JobSource::Eco { base, delta } => {
+                assert!(matches!(*base, JobSource::Spec { .. }));
+                assert_eq!(delta, "block 1 3 4\n");
+            }
+            other => panic!("wrong source {other:?}"),
+        }
+        let missing_delta = parse(r#"{"source":{"eco":{"synthetic":4}}}"#).unwrap();
+        assert!(decode_request(&missing_delta).is_err());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Eco (incremental) jobs through the service: the executor routes
+//! the base layout, applies the delta warm, and reuses cached base
+//! layouts across submissions.
+
+use sadp_grid::SadpKind;
+use sadp_service::{JobOutcome, JobSource, RouteRequest, Service, ServiceConfig};
+
+fn base_source() -> JobSource {
+    JobSource::Spec {
+        name: "ecc".into(),
+        scale: 0.02,
+        seed: 7,
+    }
+}
+
+#[test]
+fn eco_job_routes_base_then_applies_delta() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+
+    // Prime the layout cache with a plain job on the base layout.
+    let plain = RouteRequest::new(base_source(), SadpKind::Sim);
+    let plain_run_id = plain.run_id();
+    let plain_id = service.submit(plain).expect("accepts job");
+    let plain_resp = service.wait(plain_id).expect("known job");
+    let plain_nets = match &plain_resp.outcome {
+        JobOutcome::Completed { summary, report } => {
+            assert_eq!(report.note_value("layout_cache"), Some("miss"));
+            summary.nets
+        }
+        other => panic!("expected Completed, got {}", other.name()),
+    };
+
+    // The eco job names the same base, so it hits the cache, and its
+    // delta retires one net before the warm finish.
+    let eco = RouteRequest::new(
+        JobSource::Eco {
+            base: Box::new(base_source()),
+            delta: "delnet 0\n".into(),
+        },
+        SadpKind::Sim,
+    );
+    assert_ne!(eco.run_id(), plain_run_id, "delta changes the run id");
+    let eco_id = service.submit(eco).expect("accepts job");
+    let resp = service.wait(eco_id).expect("known job");
+    match &resp.outcome {
+        JobOutcome::Completed { summary, report } => {
+            assert!(summary.routed_all);
+            assert_eq!(summary.nets, plain_nets - 1, "delta removed one net");
+            assert_eq!(report.note_value("layout_cache"), Some("hit"));
+        }
+        other => panic!("expected Completed, got {}", other.name()),
+    }
+    service.shutdown();
+}
+
+#[test]
+fn eco_job_with_invalid_delta_fails_typed() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let req = RouteRequest::new(
+        JobSource::Eco {
+            base: Box::new(base_source()),
+            delta: "delnet 9999\n".into(),
+        },
+        SadpKind::Sim,
+    );
+    let id = service.submit(req).expect("accepts job");
+    let resp = service.wait(id).expect("known job");
+    match &resp.outcome {
+        JobOutcome::Failed { kind, .. } => assert_eq!(kind, "source"),
+        other => panic!("expected Failed, got {}", other.name()),
+    }
+    service.shutdown();
+}

@@ -122,6 +122,10 @@ pub enum Counter {
     /// A speculative wave entry spilled to the serial fixup path
     /// (window escalation needed, or speculation invalidated).
     WaveSpills,
+    /// Nets an ECO delta ripped for rerouting (the victim set).
+    EcoVictims,
+    /// Routed nets an ECO delta kept installed untouched.
+    EcoReused,
 }
 
 impl Counter {
@@ -144,6 +148,8 @@ impl Counter {
             Counter::BudgetStops => "budget_stops",
             Counter::Waves => "waves",
             Counter::WaveSpills => "wave_spills",
+            Counter::EcoVictims => "eco_victims",
+            Counter::EcoReused => "eco_reused",
         }
     }
 }

@@ -60,8 +60,8 @@ pub mod prelude {
         LazyIlpOptions, ResilientDviOptions, ResilientDviResult,
     };
     pub use sadp_grid::{
-        Axis, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid, RoutingSolution, SadpKind, Via,
-        WireEdge,
+        Axis, DeltaOp, LayoutDelta, Net, NetId, Netlist, Pin, RoutedNet, RoutingGrid,
+        RoutingSolution, SadpKind, Via, WireEdge,
     };
     pub use sadp_router::{
         full_audit, full_audit_observed, mask_audit, ConfigError, CostParams, FullAudit,
