@@ -45,6 +45,21 @@ impl Termination {
     pub fn is_converged(self) -> bool {
         self == Termination::Converged
     }
+
+    /// Parses a stable [`Termination::name`] back into the variant.
+    ///
+    /// Used when decoding persisted artifacts (job-journal completion
+    /// records, session checkpoints). Returns `None` for unknown
+    /// names so callers can surface a typed durability error.
+    pub fn parse(name: &str) -> Option<Termination> {
+        match name {
+            "converged" => Some(Termination::Converged),
+            "iteration_cap" => Some(Termination::IterationCap),
+            "deadline" => Some(Termination::Deadline),
+            "expansion_cap" => Some(Termination::ExpansionCap),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Termination {

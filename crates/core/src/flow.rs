@@ -465,43 +465,46 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// ```
 #[derive(Debug)]
 pub struct RoutingSession<'a> {
-    netlist: &'a Netlist,
-    config: RouterConfig,
+    // Fields are `pub(crate)` so the checkpoint codec
+    // (`crate::checkpoint`) can capture and restore a session
+    // mid-flight; outside the crate the accessors below are the API.
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) config: RouterConfig,
     /// Pin location → pinned nets, built once for the whole session
     /// and shared by both R&R phases.
-    pins: PinIndex,
-    state: RouterState,
-    scratch: SearchScratch,
+    pub(crate) pins: PinIndex,
+    pub(crate) state: RouterState,
+    pub(crate) scratch: SearchScratch,
     /// Per-worker scratches of the sharded R&R scheduler, reused
     /// across waves and phase activations.
-    shard_pool: Vec<SearchScratch>,
+    pub(crate) shard_pool: Vec<SearchScratch>,
     /// Tuning of the sharded scheduler (output-invariant).
-    shard_params: ShardParams,
-    start: Instant,
-    budget: ActiveBudget,
-    initial_work: InitialWork,
-    initial_term: Option<Termination>,
-    failed: Vec<NetId>,
-    congestion_work: CongestionWork,
-    congestion_term: Option<Termination>,
+    pub(crate) shard_params: ShardParams,
+    pub(crate) start: Instant,
+    pub(crate) budget: ActiveBudget,
+    pub(crate) initial_work: InitialWork,
+    pub(crate) initial_term: Option<Termination>,
+    pub(crate) failed: Vec<NetId>,
+    pub(crate) congestion_work: CongestionWork,
+    pub(crate) congestion_term: Option<Termination>,
     /// `true` when the congestion phase needs no further work from the
     /// pipeline's point of view: it converged, or its *configured*
     /// iteration cap (not a budget) stopped it — the pre-budget
     /// behavior lets the flow proceed past a capped-out phase.
-    congestion_done: bool,
-    congestion_clean: bool,
-    congestion_stats: RnrStats,
-    tpl_work: TplWork,
-    tpl_term: Option<Termination>,
-    tpl_done: bool,
-    tpl_clean: bool,
-    tpl_stats: RnrStats,
-    coloring_attempts_done: usize,
-    coloring_term: Option<Termination>,
-    colorable: Option<bool>,
+    pub(crate) congestion_done: bool,
+    pub(crate) congestion_clean: bool,
+    pub(crate) congestion_stats: RnrStats,
+    pub(crate) tpl_work: TplWork,
+    pub(crate) tpl_term: Option<Termination>,
+    pub(crate) tpl_done: bool,
+    pub(crate) tpl_clean: bool,
+    pub(crate) tpl_stats: RnrStats,
+    pub(crate) coloring_attempts_done: usize,
+    pub(crate) coloring_term: Option<Termination>,
+    pub(crate) colorable: Option<bool>,
     /// A contained worker panic, surfaced by
     /// [`RoutingSession::try_finish`].
-    fault: Option<RouteError>,
+    pub(crate) fault: Option<RouteError>,
 }
 
 impl<'a> RoutingSession<'a> {

@@ -42,6 +42,7 @@
 pub mod audit;
 mod bucket;
 pub mod budget;
+pub mod checkpoint;
 pub mod costs;
 pub mod dijkstra;
 pub mod eco;
@@ -53,6 +54,7 @@ pub mod state;
 
 pub use audit::{full_audit, full_audit_observed, mask_audit, FullAudit};
 pub use budget::{PhaseLimits, RouteBudget, Termination};
+pub use checkpoint::CHECKPOINT_HEADER;
 pub use costs::CostParams;
 pub use eco::EcoPlan;
 pub use flow::{

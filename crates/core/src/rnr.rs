@@ -502,7 +502,7 @@ pub fn negotiate_congestion_budgeted(
 /// A violation processed by the Algorithm 2 priority queue.
 /// Congestion outranks FVPs (it is always resolved first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Violation {
+pub(crate) enum Violation {
     /// A metal point with more than one owner. (Rank 0: highest.)
     Congestion(GridPoint),
     /// An FVP window `(via layer, origin)`.
@@ -510,7 +510,7 @@ enum Violation {
 }
 
 impl Violation {
-    fn rank(&self) -> u8 {
+    pub(crate) fn rank(&self) -> u8 {
         match self {
             Violation::Congestion(_) => 0,
             Violation::Fvp(..) => 1,
@@ -526,12 +526,12 @@ impl Violation {
 /// uninterrupted run).
 #[derive(Debug, Clone, Default)]
 pub struct TplWork {
-    heap: BinaryHeap<Reverse<(u8, u64, Violation)>>,
-    seq: u64,
-    rotation: usize,
-    activated: bool,
+    pub(crate) heap: BinaryHeap<Reverse<(u8, u64, Violation)>>,
+    pub(crate) seq: u64,
+    pub(crate) rotation: usize,
+    pub(crate) activated: bool,
     /// Reused rip-candidate buffer (no per-iteration allocation).
-    victims: Vec<NetId>,
+    pub(crate) victims: Vec<NetId>,
 }
 
 impl TplWork {

@@ -14,8 +14,12 @@ use tpl_decomp::{conflict_offsets, FvpIndex};
 use crate::costs::CostParams;
 
 /// Which penalty map a journal delta applies to.
+///
+/// `pub(crate)` so the checkpoint codec can persist and replay
+/// journals verbatim (recomputing them on restore would be
+/// order-dependent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MapKind {
+pub(crate) enum MapKind {
     /// Metal-point penalty (BDC contributions on wires).
     Wire,
     /// Via-location penalty (BDC / AMC / CDC contributions).
@@ -24,10 +28,10 @@ enum MapKind {
 
 /// One reversible cost contribution of a routed net.
 #[derive(Debug, Clone, Copy)]
-struct Delta {
-    map: MapKind,
-    point: GridPoint,
-    amount: i64,
+pub(crate) struct Delta {
+    pub(crate) map: MapKind,
+    pub(crate) point: GridPoint,
+    pub(crate) amount: i64,
 }
 
 /// The router's complete mutable state.
@@ -79,7 +83,7 @@ pub struct RouterState {
     /// Pin locations (fixed via stacks), used to exempt pin vias from
     /// incremental via bookkeeping and from rip-up.
     pin_vias: HashSet<(i32, i32)>,
-    journals: Vec<Vec<Delta>>,
+    pub(crate) journals: Vec<Vec<Delta>>,
 }
 
 impl RouterState {
@@ -471,6 +475,14 @@ pub struct SuspendedRoute {
 }
 
 impl SuspendedRoute {
+    /// Rebuilds a suspension from a persisted route + journal pair
+    /// (checkpoint restore): [`RouterState::resume_route`] then
+    /// replays the journal verbatim, exactly as if the route had been
+    /// suspended in this process.
+    pub(crate) fn from_parts(route: RoutedNet, journal: Vec<Delta>) -> SuspendedRoute {
+        SuspendedRoute { route, journal }
+    }
+
     /// Consumes the suspension, yielding the bare route (used when the
     /// caller decides to *reinstall through the normal path* instead of
     /// resuming, e.g. the serial reroute-failure fallback).

@@ -17,6 +17,9 @@
 //! | `dvi.solver_abort`  | DVI ILP solve aborts (panics internally; caught by the resilient wrapper) |
 //! | `core.slow_phase`   | routing phase sleeps for the armed delay |
 //! | `exec.task_panic`   | a pool worker task panics                |
+//! | `io.torn_write`     | a journal append persists only a byte prefix, then the journal goes dead (simulated crash mid-write) |
+//! | `io.fsync_fail`     | a journal fsync reports failure; the accepting `submit` returns a typed error |
+//! | `io.short_read`     | a journal recovery scan sees a truncated tail (simulated partially-persisted file) |
 //!
 //! ```
 //! let _guard = faultinject::arm(

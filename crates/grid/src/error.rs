@@ -69,6 +69,16 @@ pub enum RouteError {
         /// The panic message.
         message: String,
     },
+    /// A durability artifact (job journal, session checkpoint) was
+    /// rejected: checksum mismatch, version mismatch, torn or
+    /// truncated data, or a binding mismatch against the live layout.
+    Durability {
+        /// The artifact or mechanism that failed ("journal",
+        /// "checkpoint", "recovery", …).
+        what: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RouteError {
@@ -96,6 +106,9 @@ impl std::fmt::Display for RouteError {
             }
             RouteError::TaskPanicked { task, message } => {
                 write!(f, "worker task {task} panicked: {message}")
+            }
+            RouteError::Durability { what, reason } => {
+                write!(f, "durability failure in {what}: {reason}")
             }
         }
     }
@@ -181,6 +194,13 @@ mod tests {
                     message: "boom".into(),
                 },
                 "task 2 panicked",
+            ),
+            (
+                RouteError::Durability {
+                    what: "journal".into(),
+                    reason: "checksum mismatch".into(),
+                },
+                "durability failure in journal",
             ),
         ];
         for (e, needle) in cases {

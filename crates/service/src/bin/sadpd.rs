@@ -6,19 +6,36 @@
 //! gets a fresh service so job ids restart from 1 and transcripts
 //! stay reproducible).
 //!
+//! With `--journal DIR` the daemon becomes durable: every accepted
+//! request is written ahead to `DIR/journal.log` before its job id is
+//! acknowledged, completions are journaled before they are reported,
+//! and long-running sessions checkpoint to `DIR/ckpt-<id>.txt` every
+//! `--checkpoint-every` budget slices. On restart the daemon replays
+//! the journal — completed jobs answer `poll`/`wait` with their
+//! original responses, interrupted jobs are re-enqueued (warm-started
+//! from their checkpoint when one restores cleanly) and reach the
+//! same `outcome_fingerprint` the uninterrupted run would have.
+//!
+//! On unix, SIGINT/SIGTERM trigger a drain (stop intake, finish
+//! queued work, then exit); a second signal escalates to an immediate
+//! abort that cancels in-flight jobs before exiting.
+//!
 //! ```text
 //! sadpd [--workers N] [--slice-iters N] [--socket PATH]
+//!       [--journal DIR] [--checkpoint-every N]
 //! ```
 
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
-use sadp_service::{wire, Service, ServiceConfig};
+use sadp_service::{wire, DurabilityConfig, Service, ServiceConfig};
 
 struct Args {
     workers: usize,
     slice_iters: usize,
     socket: Option<String>,
+    journal: Option<String>,
+    checkpoint_every: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         slice_iters: ServiceConfig::default().slice_iters,
         socket: None,
+        journal: None,
+        checkpoint_every: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -41,12 +60,31 @@ fn parse_args() -> Result<Args, String> {
             "--socket" => {
                 args.socket = Some(it.next().ok_or("--socket needs a path")?);
             }
+            "--journal" => {
+                args.journal = Some(it.next().ok_or("--journal needs a directory")?);
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                args.checkpoint_every = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every {v:?}"))?;
+            }
             "--help" | "-h" => {
-                println!("usage: sadpd [--workers N] [--slice-iters N] [--socket PATH]");
+                println!(
+                    "usage: sadpd [--workers N] [--slice-iters N] [--socket PATH] \
+                     [--journal DIR] [--checkpoint-every N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.journal.is_some() && args.socket.is_some() {
+        return Err(
+            "--journal requires stdin mode (socket connections each get a fresh \
+                    service, which would contend for one journal)"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -56,6 +94,31 @@ fn config(args: &Args) -> ServiceConfig {
         workers: args.workers,
         slice_iters: args.slice_iters,
         ..ServiceConfig::default()
+    }
+}
+
+/// Builds the service — durable (journal recovery logged to stderr)
+/// when `--journal` was given, plain otherwise.
+fn start_service(args: &Args) -> Result<Service, String> {
+    match &args.journal {
+        None => Ok(Service::start(config(args))),
+        Some(dir) => {
+            let mut durability = DurabilityConfig::new(dir);
+            durability.checkpoint_every = args.checkpoint_every;
+            let (service, report) = Service::start_durable(config(args), durability)
+                .map_err(|e| format!("journal recovery failed: {e}"))?;
+            eprintln!(
+                "sadpd: journal {dir}: {} job(s) replayed, {} requeued{}",
+                report.replayed.len(),
+                report.requeued.len(),
+                if report.truncated {
+                    " (torn tail truncated)"
+                } else {
+                    ""
+                }
+            );
+            Ok(service)
+        }
     }
 }
 
@@ -69,12 +132,19 @@ fn main() -> ExitCode {
     };
 
     let result = match &args.socket {
-        None => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            let service = Service::start(config(&args));
-            wire::serve(stdin.lock(), stdout.lock(), service).map(|_| ())
-        }
+        None => match start_service(&args) {
+            Ok(service) => {
+                #[cfg(unix)]
+                signals::spawn_monitor(service.shutdown_handle());
+                let stdin = std::io::stdin();
+                let stdout = std::io::stdout();
+                wire::serve(stdin.lock(), stdout.lock(), service).map(|_| ())
+            }
+            Err(e) => {
+                eprintln!("sadpd: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         Some(path) => serve_socket(path, &args),
     };
     match result {
@@ -102,6 +172,8 @@ fn serve_socket(path: &str, args: &Args) -> std::io::Result<()> {
         let reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
         let service = Service::start(config(args));
+        #[cfg(unix)]
+        signals::spawn_monitor(service.shutdown_handle());
         match wire::serve(reader, &mut writer, service) {
             Ok(_) => {
                 writer.flush()?;
@@ -115,4 +187,62 @@ fn serve_socket(path: &str, args: &Args) -> std::io::Result<()> {
     }
     let _ = std::fs::remove_file(path);
     Ok(())
+}
+
+/// Graceful-shutdown signal plumbing: a handler that only bumps an
+/// atomic counter (async-signal-safe) plus a monitor thread that
+/// turns the count into shutdown requests. First SIGINT/SIGTERM
+/// drains (intake closed, queued jobs finish), a second escalates to
+/// an immediate abort; once every job is terminal the process exits.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use sadp_service::{ShutdownHandle, ShutdownMode};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    static RECEIVED: AtomicUsize = AtomicUsize::new(0);
+
+    extern "C" fn on_signal(_signum: i32) {
+        RECEIVED.fetch_add(1, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the handlers and starts the monitor thread. Safe to
+    /// call more than once (socket mode re-arms per connection); the
+    /// handler is idempotent and monitors exit with the process.
+    pub fn spawn_monitor(handle: ShutdownHandle) {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        std::thread::spawn(move || {
+            let mut acted = 0usize;
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+                let seen = RECEIVED.load(Ordering::SeqCst);
+                if seen > acted {
+                    if acted == 0 {
+                        eprintln!("sadpd: shutdown signal: draining (signal again to abort)");
+                        handle.request(ShutdownMode::Drain);
+                    }
+                    if seen >= 2 {
+                        eprintln!("sadpd: second signal: aborting in-flight jobs");
+                        handle.request(ShutdownMode::Now);
+                    }
+                    acted = seen;
+                }
+                if acted > 0 && handle.is_idle() {
+                    eprintln!("sadpd: drained, exiting");
+                    std::process::exit(0);
+                }
+            }
+        });
+    }
 }

@@ -467,6 +467,7 @@ pub fn error_kind(e: &sadp_router::RouteError) -> &'static str {
         E::Budget { .. } => "budget",
         E::Solver { .. } => "solver",
         E::TaskPanicked { .. } => "task_panicked",
+        E::Durability { .. } => "durability",
     }
 }
 

@@ -27,11 +27,21 @@
 //! [`outcome_fingerprint`] whether it ran on a bare session, an
 //! in-process service of any pool size, or through `sadpd` — pinned
 //! by the crate's determinism tests.
+//!
+//! Durability is opt-in via [`Service::start_durable`]: accepted jobs
+//! are written to a checksummed write-ahead [`journal`] before the
+//! submit returns, terminal responses are journaled before they are
+//! reported, and long jobs checkpoint their routing session at slice
+//! boundaries. After a crash — process kill included — reopening the
+//! journal replays finished jobs verbatim and re-enqueues interrupted
+//! ones, warm-starting from checkpoints, with the same fingerprint an
+//! uninterrupted run would have produced (DESIGN.md §3.10).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod job;
+pub mod journal;
 pub mod service;
 pub mod wire;
 
@@ -39,4 +49,8 @@ pub use job::{
     outcome_fingerprint, Arm, JobBudget, JobEvent, JobId, JobOutcome, JobSource, Priority,
     RouteRequest, RouteResponse, RouteSummary,
 };
-pub use service::{JobState, JobStatus, Service, ServiceConfig, ShutdownMode, SubmitError};
+pub use journal::{DurabilityConfig, Journal, RecoveredJob, JOURNAL_HEADER};
+pub use service::{
+    JobState, JobStatus, RecoveryReport, Service, ServiceConfig, ServiceStats, ShutdownHandle,
+    ShutdownMode, SubmitError,
+};

@@ -32,17 +32,20 @@
 //! moves on. The daemon itself never dies with a job.
 
 use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use sadp_grid::{Netlist, RoutingGrid};
+use sadp_grid::{Netlist, RouteError, RoutingGrid};
 use sadp_router::{RoutingSession, Termination};
 use sadp_trace::{fnv1a, Counter, JsonReport, Phase, RouteObserver};
 
 use crate::job::{
     error_kind, summarize, JobEvent, JobId, JobOutcome, JobSource, RouteRequest, RouteResponse,
 };
+use crate::journal::{DurabilityConfig, Journal};
 
 /// Tuning of a [`Service`] instance.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +87,9 @@ pub enum SubmitError {
     ShuttingDown,
     /// The queue is at [`ServiceConfig::queue_cap`].
     QueueFull,
+    /// A durable service could not fsync the job's accept record to
+    /// its journal; the job was rolled back and never existed.
+    Journal(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -91,6 +97,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::ShuttingDown => f.write_str("service is shutting down"),
             SubmitError::QueueFull => f.write_str("job queue is full"),
+            SubmitError::Journal(e) => write!(f, "journal write failed: {e}"),
         }
     }
 }
@@ -182,19 +189,43 @@ enum Gate {
 struct Sched {
     queues: [VecDeque<JobId>; 3],
     credits: [u32; 3],
-    jobs: Vec<JobEntry>, // index = JobId.0 - 1
+    /// Index = JobId.0 - 1. `None` marks an id that the journal's
+    /// highwater reserves but whose records were compacted away
+    /// (unknown to `poll`, never reused by `submit`).
+    jobs: Vec<Option<JobEntry>>,
     gate: Gate,
 }
 
 const CREDIT_WEIGHTS: [u32; 3] = [4, 2, 1];
 
+/// A fresh per-job shared block (cancel flag + event buffer).
+fn new_shared(event_cap: usize) -> Arc<JobShared> {
+    Arc::new(JobShared {
+        cancel: AtomicBool::new(false),
+        events: Mutex::new(EventBuf {
+            buf: VecDeque::new(),
+            dropped: 0,
+            cap: event_cap.max(1),
+        }),
+    })
+}
+
 impl Sched {
+    fn fresh() -> Sched {
+        Sched {
+            queues: Default::default(),
+            credits: CREDIT_WEIGHTS,
+            jobs: Vec::new(),
+            gate: Gate::Open,
+        }
+    }
+
     fn entry(&self, id: JobId) -> Option<&JobEntry> {
-        self.jobs.get((id.0 as usize).checked_sub(1)?)
+        self.jobs.get((id.0 as usize).checked_sub(1)?)?.as_ref()
     }
 
     fn entry_mut(&mut self, id: JobId) -> Option<&mut JobEntry> {
-        self.jobs.get_mut((id.0 as usize).checked_sub(1)?)
+        self.jobs.get_mut((id.0 as usize).checked_sub(1)?)?.as_mut()
     }
 
     fn queued_total(&self) -> usize {
@@ -227,6 +258,58 @@ struct Inner {
     done_cv: Condvar,
     config: ServiceConfig,
     cache: LayoutCache,
+    durable: Option<Durable>,
+}
+
+/// The durability state of a journaled service: the write-ahead log
+/// plus where per-job session checkpoints live.
+///
+/// Lock order: the scheduler lock may be held while taking the
+/// journal lock (submit does), never the reverse.
+struct Durable {
+    journal: Mutex<Journal>,
+    dir: PathBuf,
+    checkpoint_every: usize,
+}
+
+impl Durable {
+    fn checkpoint_path(&self, id: JobId) -> PathBuf {
+        self.dir.join(format!("ckpt-{}.txt", id.0))
+    }
+
+    /// Atomically replaces the job's session snapshot (tmp + rename,
+    /// fsynced). Best effort: a failed snapshot only costs a cold
+    /// restart after a crash, so it must never fail the job.
+    fn write_checkpoint(&self, id: JobId, text: &str) {
+        let tmp = self.dir.join(format!("ckpt-{}.tmp", id.0));
+        let result = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_data()?;
+            std::fs::rename(&tmp, self.checkpoint_path(id))
+        })();
+        if let Err(e) = result {
+            eprintln!("sadpd: checkpoint write for {id} failed: {e}");
+        }
+    }
+
+    fn journal(&self) -> std::sync::MutexGuard<'_, Journal> {
+        self.journal.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Journals a terminal response and drops the job's checkpoint file.
+/// A failed completion append is logged and tolerated: the response
+/// is already correct in memory, and after a crash the job simply
+/// re-runs — deterministically, to the same fingerprint.
+fn record_terminal(inner: &Inner, resp: &RouteResponse) {
+    let Some(durable) = &inner.durable else {
+        return;
+    };
+    if let Err(e) = durable.journal().append_complete(resp) {
+        eprintln!("sadpd: journal completion for {} failed: {e}", resp.job);
+    }
+    let _ = std::fs::remove_file(durable.checkpoint_path(resp.job));
 }
 
 /// A fingerprint-keyed, LRU-evicted cache of generated layouts.
@@ -322,7 +405,6 @@ impl LayoutCache {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    #[cfg(test)]
     fn stats(&self) -> (u64, u64) {
         let inner = self.lock();
         (inner.hits, inner.misses)
@@ -337,9 +419,83 @@ pub struct Service {
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
+/// What [`Service::start_durable`] reconstructed from the journal.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Jobs with an accept but no completion record: re-enqueued in
+    /// id order (warm-started from their checkpoint when one exists
+    /// and restores cleanly, from scratch otherwise).
+    pub requeued: Vec<JobId>,
+    /// Jobs whose completion record survived: immediately `Done`,
+    /// their responses replayable through `poll`/`wait`.
+    pub replayed: Vec<JobId>,
+    /// A torn record was found at the journal tail and truncated
+    /// away (the signature of a crash mid-append).
+    pub truncated: bool,
+}
+
 impl Service {
-    /// Starts the worker pool.
+    /// Starts the worker pool (no durability: jobs live and die with
+    /// the process).
     pub fn start(config: ServiceConfig) -> Service {
+        Service::boot(config, None, Sched::fresh())
+    }
+
+    /// Starts a durable service: scans (or creates) the job journal
+    /// under `durability.dir`, re-enqueues every accepted-but-
+    /// unfinished job, restores already-completed responses for
+    /// replay, then opens for business. The returned report says what
+    /// recovery found.
+    ///
+    /// # Errors
+    ///
+    /// `RouteError::Durability` when the journal is unreadable or
+    /// semantically corrupt (see [`Journal::open`]); torn tails are
+    /// not errors — they are truncated and reported.
+    pub fn start_durable(
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Service, RecoveryReport), RouteError> {
+        let (journal, recovered, truncated) = Journal::open(&durability.dir)?;
+        let mut sched = Sched::fresh();
+        sched
+            .jobs
+            .resize_with(journal.next_id().saturating_sub(1) as usize, || None);
+        let mut report = RecoveryReport {
+            truncated,
+            ..RecoveryReport::default()
+        };
+        for job in recovered {
+            let idx = (job.id.0 - 1) as usize;
+            let state = match &job.response {
+                Some(_) => {
+                    report.replayed.push(job.id);
+                    JobState::Done
+                }
+                None => {
+                    // Recovered jobs arrive in id order, so each band
+                    // queue keeps submission (= id) order.
+                    sched.queues[job.request.priority.band()].push_back(job.id);
+                    report.requeued.push(job.id);
+                    JobState::Queued
+                }
+            };
+            sched.jobs[idx] = Some(JobEntry {
+                request: job.request,
+                state,
+                shared: new_shared(config.event_cap),
+                response: job.response,
+            });
+        }
+        let durable = Durable {
+            journal: Mutex::new(journal),
+            dir: durability.dir,
+            checkpoint_every: durability.checkpoint_every,
+        };
+        Ok((Service::boot(config, Some(durable), sched), report))
+    }
+
+    fn boot(config: ServiceConfig, durable: Option<Durable>, sched: Sched) -> Service {
         let workers = if config.workers == 0 {
             sadp_exec::thread_count()
         } else {
@@ -347,16 +503,12 @@ impl Service {
         }
         .max(1);
         let inner = Arc::new(Inner {
-            sched: Mutex::new(Sched {
-                queues: Default::default(),
-                credits: CREDIT_WEIGHTS,
-                jobs: Vec::new(),
-                gate: Gate::Open,
-            }),
+            sched: Mutex::new(sched),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             config,
             cache: LayoutCache::new(config.layout_cache_cap),
+            durable,
         });
         let handles = (0..workers)
             .map(|w| {
@@ -379,11 +531,16 @@ impl Service {
     }
 
     /// Accepts a job; it starts as soon as the scheduler picks it.
+    /// On a durable service the accept record is fsynced to the
+    /// journal *before* the `JobId` is returned — an id in hand means
+    /// the job survives any crash.
     ///
     /// # Errors
     ///
     /// [`SubmitError::ShuttingDown`] after a shutdown began,
-    /// [`SubmitError::QueueFull`] at the queue cap.
+    /// [`SubmitError::QueueFull`] at the queue cap, and
+    /// [`SubmitError::Journal`] when the accept record could not be
+    /// made durable (the job is rolled back as if never submitted).
     pub fn submit(&self, request: RouteRequest) -> Result<JobId, SubmitError> {
         let mut sched = self.lock();
         if sched.gate != Gate::Open {
@@ -394,19 +551,20 @@ impl Service {
         }
         let id = JobId(sched.jobs.len() as u64 + 1);
         let band = request.priority.band();
-        sched.jobs.push(JobEntry {
+        if let Some(durable) = &self.inner.durable {
+            // Write-ahead, under the scheduler lock so journal order
+            // is id order. The fsync makes submit slower on a durable
+            // service; that is the contract being bought.
+            if let Err(e) = durable.journal().append_accept(id, &request) {
+                return Err(SubmitError::Journal(e.to_string()));
+            }
+        }
+        sched.jobs.push(Some(JobEntry {
             request,
             state: JobState::Queued,
-            shared: Arc::new(JobShared {
-                cancel: AtomicBool::new(false),
-                events: Mutex::new(EventBuf {
-                    buf: VecDeque::new(),
-                    dropped: 0,
-                    cap: self.inner.config.event_cap.max(1),
-                }),
-            }),
+            shared: new_shared(self.inner.config.event_cap),
             response: None,
-        });
+        }));
         sched.queues[band].push_back(id);
         drop(sched);
         self.inner.work_cv.notify_one();
@@ -467,15 +625,17 @@ impl Service {
                 entry.shared.cancel.store(true, Ordering::Relaxed);
                 let run_id = entry.request.run_id();
                 entry.state = JobState::Done;
-                entry.response = Some(RouteResponse {
+                let response = RouteResponse {
                     job: id,
                     run_id,
                     outcome: JobOutcome::Cancelled,
                     dropped_events: 0,
-                });
+                };
+                entry.response = Some(response.clone());
                 let band = entry.request.priority.band();
                 sched.queues[band].retain(|&q| q != id);
                 drop(sched);
+                record_terminal(&self.inner, &response);
                 self.inner.done_cv.notify_all();
                 true
             }
@@ -491,39 +651,7 @@ impl Service {
 
     /// [`Service::shutdown`] with an explicit drain/abort choice.
     pub fn shutdown_with(mut self, mode: ShutdownMode) -> usize {
-        {
-            let mut sched = self.lock();
-            sched.gate = match mode {
-                ShutdownMode::Drain => Gate::Draining,
-                ShutdownMode::Now => Gate::Aborting,
-            };
-            if mode == ShutdownMode::Now {
-                // Resolve everything still queued to Cancelled.
-                for band in 0..3 {
-                    while let Some(id) = sched.queues[band].pop_front() {
-                        if let Some(entry) = sched.entry_mut(id) {
-                            let run_id = entry.request.run_id();
-                            entry.state = JobState::Done;
-                            entry.response = Some(RouteResponse {
-                                job: id,
-                                run_id,
-                                outcome: JobOutcome::Cancelled,
-                                dropped_events: 0,
-                            });
-                        }
-                    }
-                }
-                // Running jobs wind down at their next slice.
-                for entry in &sched.jobs {
-                    if entry.state == JobState::Running {
-                        entry.shared.cancel.store(true, Ordering::Relaxed);
-                    }
-                }
-            }
-            drop(sched);
-            self.inner.work_cv.notify_all();
-            self.inner.done_cv.notify_all();
-        }
+        engage_gate(&self.inner, mode);
         for handle in self.workers.drain(..) {
             // A worker that somehow panicked outside the contained job
             // body must not take the shutdown down with it.
@@ -533,8 +661,49 @@ impl Service {
         sched
             .jobs
             .iter()
+            .flatten()
             .filter(|e| e.state == JobState::Done)
             .count()
+    }
+
+    /// A handle that can request shutdown and observe idleness
+    /// without consuming the service — what a signal-handling thread
+    /// needs while the main thread owns the service inside a serve
+    /// loop.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// A deterministic operational snapshot: job lifecycle counts,
+    /// layout-cache hit/miss totals, and the journal's live-record
+    /// count (0 for a non-durable service).
+    pub fn stats(&self) -> ServiceStats {
+        let sched = self.lock();
+        let mut stats = ServiceStats::default();
+        for entry in sched.jobs.iter().flatten() {
+            match entry.state {
+                JobState::Queued => stats.queued += 1,
+                JobState::Running => stats.running += 1,
+                JobState::Done => match &entry.response {
+                    Some(r) => match r.outcome {
+                        JobOutcome::Completed { .. } => stats.completed += 1,
+                        JobOutcome::Failed { .. } => stats.failed += 1,
+                        JobOutcome::Cancelled => stats.cancelled += 1,
+                    },
+                    None => stats.failed += 1,
+                },
+            }
+        }
+        drop(sched);
+        let (hits, misses) = self.inner.cache.stats();
+        stats.cache_hits = hits;
+        stats.cache_misses = misses;
+        if let Some(durable) = &self.inner.durable {
+            stats.journal_live = durable.journal().live_records();
+        }
+        stats
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
@@ -543,6 +712,119 @@ impl Service {
         // transition points, so a poisoned lock is still consistent.
         self.inner.sched.lock().unwrap_or_else(|p| p.into_inner())
     }
+}
+
+/// Deterministic counters reported by [`Service::stats`] (and the
+/// wire `stats`/`health` op). Wall-clock data is deliberately absent
+/// so scripted transcripts stay byte-reproducible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted and waiting for a worker.
+    pub queued: usize,
+    /// Jobs a worker is executing.
+    pub running: usize,
+    /// Terminal jobs that produced an outcome.
+    pub completed: usize,
+    /// Terminal jobs that failed with a typed error.
+    pub failed: usize,
+    /// Terminal jobs that were cancelled.
+    pub cancelled: usize,
+    /// Layout-cache hits.
+    pub cache_hits: u64,
+    /// Layout-cache misses.
+    pub cache_misses: u64,
+    /// Journal accept records without a completion (0 when not
+    /// durable).
+    pub journal_live: usize,
+}
+
+/// Non-consuming shutdown control for a running [`Service`]; see
+/// [`Service::shutdown_handle`].
+pub struct ShutdownHandle {
+    inner: Arc<Inner>,
+}
+
+impl ShutdownHandle {
+    /// Closes the gate like [`Service::shutdown_with`] but without
+    /// joining the workers: `Drain` stops intake and lets queued jobs
+    /// finish, `Now` additionally cancels everything still queued or
+    /// running. Escalation (`Drain` then `Now`) is honored; `Now`
+    /// never downgrades back to `Drain`.
+    pub fn request(&self, mode: ShutdownMode) {
+        engage_gate(&self.inner, mode);
+    }
+
+    /// `true` once every accepted job is terminal.
+    pub fn is_idle(&self) -> bool {
+        let sched = self.inner.sched.lock().unwrap_or_else(|p| p.into_inner());
+        sched
+            .jobs
+            .iter()
+            .flatten()
+            .all(|e| e.state == JobState::Done)
+    }
+
+    /// Blocks until every accepted job is terminal.
+    pub fn wait_idle(&self) {
+        let mut sched = self.inner.sched.lock().unwrap_or_else(|p| p.into_inner());
+        while !sched
+            .jobs
+            .iter()
+            .flatten()
+            .all(|e| e.state == JobState::Done)
+        {
+            sched = self
+                .inner
+                .done_cv
+                .wait(sched)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// The shared first half of a shutdown: close the gate, resolve the
+/// queue under `Now`, and wake everyone. Journal appends for the
+/// resolved cancellations happen outside the scheduler lock.
+fn engage_gate(inner: &Inner, mode: ShutdownMode) {
+    let mut cancelled = Vec::new();
+    {
+        let mut sched = inner.sched.lock().unwrap_or_else(|p| p.into_inner());
+        sched.gate = match mode {
+            ShutdownMode::Drain if sched.gate == Gate::Aborting => Gate::Aborting,
+            ShutdownMode::Drain => Gate::Draining,
+            ShutdownMode::Now => Gate::Aborting,
+        };
+        if mode == ShutdownMode::Now {
+            // Resolve everything still queued to Cancelled.
+            for band in 0..3 {
+                while let Some(id) = sched.queues[band].pop_front() {
+                    if let Some(entry) = sched.entry_mut(id) {
+                        let run_id = entry.request.run_id();
+                        entry.state = JobState::Done;
+                        let response = RouteResponse {
+                            job: id,
+                            run_id,
+                            outcome: JobOutcome::Cancelled,
+                            dropped_events: 0,
+                        };
+                        entry.response = Some(response.clone());
+                        cancelled.push(response);
+                    }
+                }
+            }
+            // Running jobs wind down at their next slice.
+            for entry in sched.jobs.iter().flatten() {
+                if entry.state == JobState::Running {
+                    entry.shared.cancel.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    for response in &cancelled {
+        record_terminal(inner, response);
+    }
+    inner.work_cv.notify_all();
+    inner.done_cv.notify_all();
 }
 
 fn drain_events(shared: &JobShared) -> (Vec<JobEvent>, usize) {
@@ -583,7 +865,7 @@ fn worker_loop(inner: &Inner) {
         }
         let slice = inner.config.slice_iters.max(1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(&request, &shared, slice, &inner.cache)
+            execute_job(&request, &shared, slice, &inner.cache, ckpt(inner, id))
         }))
         .unwrap_or_else(|p| JobOutcome::Failed {
             kind: "panic".into(),
@@ -601,6 +883,9 @@ fn worker_loop(inner: &Inner) {
             outcome,
             dropped_events: dropped,
         };
+        // Write-ahead ordering: the completion record is durable
+        // before the response becomes observable.
+        record_terminal(inner, &response);
         {
             let mut sched = inner.sched.lock().unwrap_or_else(|p| p.into_inner());
             if let Some(entry) = sched.entry_mut(id) {
@@ -662,10 +947,22 @@ impl RouteObserver for BridgeObserver<'_> {
     }
 }
 
+/// The (durability, id) pair threaded through job execution when the
+/// service journals — `None` on a plain service.
+fn ckpt(inner: &Inner, id: JobId) -> Option<(&Durable, JobId)> {
+    inner.durable.as_ref().map(|d| (d, id))
+}
+
 /// Drives `session` to a terminal point under the job's budget,
 /// slicing for cancellation. Returns `true` iff the job was cancelled
 /// mid-drive. Called once for ordinary jobs, twice for eco jobs
 /// (cold base, then warm post-delta) — the deadline spans both.
+///
+/// On a durable service, `ckpt` makes each iteration-cap slice
+/// boundary a checkpoint: the session snapshots to `ckpt-<id>.txt`,
+/// so a crash resumes from the last boundary instead of from scratch
+/// (output-invariant either way — slicing is pinned not to change
+/// outcomes).
 fn drive_session(
     session: &mut RoutingSession<'_>,
     request: &RouteRequest,
@@ -673,6 +970,7 @@ fn drive_session(
     obs: &mut BridgeObserver<'_>,
     base_slice: usize,
     deadline: Option<Instant>,
+    ckpt: Option<(&Durable, JobId)>,
 ) -> bool {
     let cancelled = || shared.cancel.load(Ordering::Relaxed);
     // An expansion cap cuts searches mid-reroute, so re-activating it
@@ -682,6 +980,7 @@ fn drive_session(
     let sliced = request.budget.max_expansions.is_none();
     let user_cap = request.budget.max_phase_iters.unwrap_or(usize::MAX);
     let mut slice = base_slice.min(user_cap).max(1);
+    let mut boundaries = 0usize;
 
     loop {
         if cancelled() {
@@ -714,6 +1013,14 @@ fn drive_session(
                     // The *user's* cap stopped the phase: terminal.
                     return false;
                 }
+                if let Some((durable, id)) = ckpt {
+                    boundaries += 1;
+                    if durable.checkpoint_every > 0
+                        && boundaries.is_multiple_of(durable.checkpoint_every)
+                    {
+                        durable.write_checkpoint(id, &session.checkpoint());
+                    }
+                }
                 slice = slice.saturating_mul(2).min(user_cap);
             }
             Termination::Converged => return false,
@@ -726,6 +1033,7 @@ fn execute_job(
     shared: &JobShared,
     base_slice: usize,
     cache: &LayoutCache,
+    ckpt: Option<(&Durable, JobId)>,
 ) -> JobOutcome {
     if shared.cancel.load(Ordering::Relaxed) {
         return JobOutcome::Cancelled;
@@ -783,14 +1091,43 @@ fn execute_job(
     };
     obs.note("layout_cache", cache_verdict);
 
-    let mut session = match RoutingSession::try_new(&grid, &netlist, config) {
-        Ok(s) => s,
-        Err(e) => {
-            return JobOutcome::Failed {
-                kind: error_kind(&e).into(),
-                error: e.to_string(),
-            };
+    // Checkpoints bind to the base netlist, so eco jobs — whose
+    // session crosses a netlist edit mid-flight — run without them
+    // (a crash re-runs the eco job from scratch; still deterministic).
+    let ckpt = if eco.is_some() { None } else { ckpt };
+
+    // A crash-interrupted job warm-starts from its last session
+    // snapshot when one exists and passes the restore checks (binding
+    // fingerprints, checksum, simulated replay); any rejection falls
+    // back to a cold start, which reaches the identical outcome.
+    let mut session = None;
+    if let Some((durable, id)) = ckpt {
+        let path = durable.checkpoint_path(id);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            match RoutingSession::restore(&grid, &netlist, config, &text) {
+                Ok(s) => {
+                    obs.note("warm_start", "checkpoint");
+                    session = Some(s);
+                }
+                Err(e) => {
+                    obs.note("warm_start", "rejected");
+                    eprintln!("sadpd: checkpoint for {id} rejected ({e}); cold start");
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
         }
+    }
+    let mut session = match session {
+        Some(s) => s,
+        None => match RoutingSession::try_new(&grid, &netlist, config) {
+            Ok(s) => s,
+            Err(e) => {
+                return JobOutcome::Failed {
+                    kind: error_kind(&e).into(),
+                    error: e.to_string(),
+                };
+            }
+        },
     };
 
     let started = Instant::now();
@@ -806,6 +1143,7 @@ fn execute_job(
         &mut obs,
         base_slice,
         deadline,
+        ckpt,
     ) {
         return JobOutcome::Cancelled;
     }
@@ -823,6 +1161,7 @@ fn execute_job(
             &mut obs,
             base_slice,
             deadline,
+            None,
         ) {
             return JobOutcome::Cancelled;
         }

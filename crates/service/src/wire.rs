@@ -256,6 +256,65 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Encodes a request in its canonical wire form — fixed field order,
+/// the exact inverse of [`decode_request`]. This is the request text
+/// the job journal persists, so the encoding is append-only stable.
+pub fn encode_request(out: &mut String, req: &RouteRequest) {
+    out.push_str("{\"source\":");
+    encode_source(out, &req.source);
+    let kind = match req.kind {
+        SadpKind::Sim => "SIM",
+        SadpKind::Sid => "SID",
+        SadpKind::SimTrim => "SIM_TRIM",
+    };
+    let _ = write!(out, r#","kind":"{kind}","arm":"{}""#, req.arm.name());
+    let b = &req.budget;
+    if b.deadline_ms.is_some() || b.max_phase_iters.is_some() || b.max_expansions.is_some() {
+        out.push_str(",\"budget\":{");
+        let mut first = true;
+        let mut field = |out: &mut String, name: &str, v: Option<u64>| {
+            if let Some(v) = v {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, r#""{name}":{v}"#);
+            }
+        };
+        field(out, "deadline_ms", b.deadline_ms);
+        field(out, "max_phase_iters", b.max_phase_iters.map(|n| n as u64));
+        field(out, "max_expansions", b.max_expansions);
+        out.push('}');
+    }
+    let _ = write!(out, r#","priority":"{}"}}"#, req.priority.name());
+}
+
+/// Encodes a source object (recursing one level for `eco` bases).
+fn encode_source(out: &mut String, source: &JobSource) {
+    match source {
+        JobSource::Inline { layout } => {
+            let _ = write!(out, r#"{{"inline":"{}"}}"#, escape(layout));
+        }
+        JobSource::Spec { name, scale, seed } => {
+            // f64 Display is shortest-round-trip, so decode's
+            // `as_f64` reads back the identical scale.
+            let _ = write!(
+                out,
+                r#"{{"spec":"{}","scale":{scale},"seed":{seed}}}"#,
+                escape(name)
+            );
+        }
+        JobSource::Synthetic { nets, seed } => {
+            let _ = write!(out, r#"{{"synthetic":{nets},"seed":{seed}}}"#);
+        }
+        JobSource::Eco { base, delta } => {
+            out.push_str("{\"eco\":");
+            encode_source(out, base);
+            let _ = write!(out, r#","delta":"{}"}}"#, escape(delta));
+        }
+    }
+}
+
 /// Decodes a source object (recursing one level for `eco` bases).
 fn decode_source(source: &Value) -> Result<JobSource, String> {
     if let Some(layout) = source.get("inline").and_then(Value::as_str) {
@@ -453,7 +512,20 @@ pub fn serve<R: BufRead, W: Write>(
             }
             Ok(v) => {
                 let op = v.get("op").and_then(Value::as_str).unwrap_or("");
-                let svc = service.as_ref().expect("service alive until shutdown op");
+                // After a shutdown op the service is gone but the
+                // connection may still carry requests; every one of
+                // them gets a typed protocol error, never a panic.
+                let Some(svc) = service.as_ref() else {
+                    let _ = write!(
+                        out,
+                        r#"{{"ok":false,"op":"{}","error":"service is shut down"}}"#,
+                        escape(op)
+                    );
+                    out.push('\n');
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
+                    continue;
+                };
                 match op {
                     "submit" => {
                         match v.get("request").ok_or("missing field: request".to_string()) {
@@ -534,6 +606,26 @@ pub fn serve<R: BufRead, W: Write>(
                             );
                         }
                     },
+                    "stats" | "health" => {
+                        let s = svc.stats();
+                        let _ = write!(
+                            out,
+                            concat!(
+                                r#"{{"ok":true,"op":"{}","queued":{},"running":{},"#,
+                                r#""completed":{},"failed":{},"cancelled":{},"#,
+                                r#""cache_hits":{},"cache_misses":{},"journal_live":{}}}"#
+                            ),
+                            op,
+                            s.queued,
+                            s.running,
+                            s.completed,
+                            s.failed,
+                            s.cancelled,
+                            s.cache_hits,
+                            s.cache_misses,
+                            s.journal_live,
+                        );
+                    }
                     "shutdown" => {
                         shutdown_mode = Some(
                             match v.get("mode").and_then(Value::as_str).unwrap_or("drain") {
@@ -553,13 +645,12 @@ pub fn serve<R: BufRead, W: Write>(
             }
         }
         if let Some(mode) = shutdown_mode {
-            let svc = service.take().expect("service alive until shutdown op");
-            let jobs = svc.shutdown_with(mode);
-            let _ = write!(out, r#"{{"ok":true,"op":"shutdown","jobs":{jobs}}}"#);
-            out.push('\n');
-            writer.write_all(out.as_bytes())?;
-            writer.flush()?;
-            return Ok(handled);
+            if let Some(svc) = service.take() {
+                let jobs = svc.shutdown_with(mode);
+                let _ = write!(out, r#"{{"ok":true,"op":"shutdown","jobs":{jobs}}}"#);
+            }
+            // Keep reading: later requests on the same connection are
+            // answered with "service is shut down" until EOF.
         }
         out.push('\n');
         writer.write_all(out.as_bytes())?;
@@ -641,6 +732,105 @@ mod tests {
         }
         let missing_delta = parse(r#"{"source":{"eco":{"synthetic":4}}}"#).unwrap();
         assert!(decode_request(&missing_delta).is_err());
+    }
+
+    #[test]
+    fn encode_request_round_trips_through_decode() {
+        use crate::job::RouteRequest;
+        let mut eco = RouteRequest::new(
+            JobSource::Eco {
+                base: Box::new(JobSource::Spec {
+                    name: "ecc".into(),
+                    scale: 0.05,
+                    seed: 3,
+                }),
+                delta: "block 1 3 4\n".into(),
+            },
+            SadpKind::SimTrim,
+        );
+        eco.arm = Arm::Dvi;
+        eco.priority = Priority::High;
+        eco.budget.deadline_ms = Some(250);
+        eco.budget.max_expansions = Some(9_000_000_000);
+        let mut inline = RouteRequest::new(
+            JobSource::Inline {
+                layout: "grid 8 8 3\nnet a \"quoted\"\n".into(),
+            },
+            SadpKind::Sid,
+        );
+        inline.budget.max_phase_iters = Some(7);
+        let plain = RouteRequest::new(JobSource::Synthetic { nets: 12, seed: 5 }, SadpKind::Sim);
+        for req in [eco, inline, plain] {
+            let mut text = String::new();
+            encode_request(&mut text, &req);
+            let v = parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let back = decode_request(&v).unwrap();
+            assert_eq!(back, req, "{text}");
+            assert_eq!(back.run_id(), req.run_id());
+        }
+    }
+
+    #[test]
+    fn ops_after_shutdown_answer_typed_errors_not_panics() {
+        let input = concat!(
+            r#"{"op":"submit","request":{"source":{"synthetic":4,"seed":1}}}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+            r#"{"op":"poll","job":1}"#,
+            "\n",
+            r#"{"op":"submit","request":{"source":{"synthetic":4,"seed":2}}}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let service = Service::start(crate::ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let handled = serve(input.as_bytes(), &mut out, service).unwrap();
+        assert_eq!(handled, 5);
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "{out}");
+        assert!(lines[1].contains(r#""op":"shutdown","jobs":1"#), "{out}");
+        for line in &lines[2..] {
+            assert!(
+                line.contains(r#""ok":false"#) && line.contains("service is shut down"),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_op_reports_deterministic_counters() {
+        let input = concat!(
+            r#"{"op":"submit","request":{"source":{"synthetic":4,"seed":1}}}"#,
+            "\n",
+            r#"{"op":"wait","job":1}"#,
+            "\n",
+            r#"{"op":"health"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let service = Service::start(crate::ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        serve(input.as_bytes(), &mut out, service).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let stats = out.lines().nth(2).unwrap();
+        assert_eq!(
+            stats,
+            concat!(
+                r#"{"ok":true,"op":"health","queued":0,"running":0,"#,
+                r#""completed":1,"failed":0,"cancelled":0,"#,
+                r#""cache_hits":0,"cache_misses":1,"journal_live":0}"#
+            ),
+        );
     }
 
     #[test]

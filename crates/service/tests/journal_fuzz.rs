@@ -1,0 +1,135 @@
+//! Robustness properties of the journal scanner: `Journal::open` must
+//! never panic — arbitrary byte soup, torn tails, and well-framed but
+//! semantically hostile records all come back as either a recovered
+//! prefix or a typed `RouteError::Durability`, mirroring the
+//! byte-soup guarantees the grid parsers pin in `io_fuzz.rs`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use sadp_grid::{RouteError, SadpKind};
+use sadp_service::{journal, JobId, JobSource, Journal, RouteRequest};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch dir per proptest case (cases run per-thread, and
+/// a shared dir would let one case's journal leak into the next).
+fn case_dir(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sadp-jfuzz-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Seeds a dir with a valid two-accept journal and returns the log path.
+fn valid_journal(dir: &Path) -> PathBuf {
+    let (mut j, _, _) = Journal::open(dir).unwrap();
+    for (i, (nets, seed)) in [(4usize, 1u64), (6, 2)].iter().enumerate() {
+        let req = RouteRequest::new(
+            JobSource::Synthetic {
+                nets: *nets,
+                seed: *seed,
+            },
+            SadpKind::Sim,
+        );
+        j.append_accept(JobId(i as u64 + 1), &req).unwrap();
+    }
+    j.path().to_path_buf()
+}
+
+fn open_is_graceful(dir: &Path) -> Result<usize, String> {
+    match Journal::open(dir) {
+        Ok((_, recovered, _)) => Ok(recovered.len()),
+        Err(RouteError::Durability { what, reason }) => {
+            assert_eq!(what, "journal");
+            Err(reason)
+        }
+        Err(e) => panic!("journal scan leaked a non-durability error: {e}"),
+    }
+}
+
+/// Journal-shaped record payloads: plausible field soup that lands on
+/// the scanner's accept/complete/highwater arms, not just "not JSON".
+fn plausible_record() -> impl Strategy<Value = String> {
+    (0usize..10, any::<u64>()).prop_map(|(pick, n)| match pick {
+        0 => format!(r#"{{"rec":"accept","job":{n}}}"#),
+        1 => format!(r#"{{"rec":"complete","job":{n},"run_id":"{n:016x}","outcome":"cancelled","dropped_events":0}}"#),
+        2 => format!(r#"{{"rec":"highwater","next":{n}}}"#),
+        3 => r#"{"rec":"mystery"}"#.into(),
+        4 => "not json at all".into(),
+        5 => format!(
+            r#"{{"rec":"accept","job":{},"run_id":"{n:016x}","request":{{"source":{{"synthetic":4,"seed":1}},"kind":"SIM","arm":"full","priority":"normal"}}}}"#,
+            n.max(1)
+        ),
+        6 => String::new(),
+        7 => "sadpd-journal v1".into(),
+        8 => format!(r#"{{"rec":"complete","job":{n},"run_id":"zzz","outcome":"completed"}}"#),
+        _ => format!(r#"{{"rec":"accept","job":0,"run_id":"{n:016x}"}}"#),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes appended after valid records never panic the
+    /// scanner; at worst they are a torn tail or a typed refusal, and
+    /// the valid prefix is never over-recovered.
+    #[test]
+    fn arbitrary_tail_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+        let dir = case_dir("tail");
+        let path = valid_journal(&dir);
+        let mut log = std::fs::read(&path).unwrap();
+        log.extend_from_slice(&bytes);
+        std::fs::write(&path, &log).unwrap();
+        if let Ok(recovered) = open_is_graceful(&dir) {
+            prop_assert!(recovered >= 2, "valid prefix records lost");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A whole file of arbitrary bytes never panics: it is refused
+    /// (bad header) or, when the scanner finds nothing durable at all,
+    /// treated as torn.
+    #[test]
+    fn arbitrary_whole_files_never_panic(bytes in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let dir = case_dir("soup");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("journal.log"), &bytes).unwrap();
+        let _ = open_is_graceful(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Well-framed (length + checksum intact) but semantically hostile
+    /// records are always a typed refusal or a clean scan — never a
+    /// panic, never a torn-tail misclassification.
+    #[test]
+    fn framed_record_soup_never_panics(
+        records in proptest::collection::vec(plausible_record(), 0..8),
+    ) {
+        let dir = case_dir("framed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut log = journal::frame("sadpd-journal v1");
+        for r in &records {
+            log.extend_from_slice(&journal::frame(r));
+        }
+        std::fs::write(dir.join("journal.log"), &log).unwrap();
+        let _ = open_is_graceful(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Truncating a valid journal at any byte recovers a prefix or
+    /// refuses; it never panics and never invents records.
+    #[test]
+    fn truncated_valid_journals_never_panic(cut_permille in 0u32..=1000) {
+        let dir = case_dir("cut");
+        let path = valid_journal(&dir);
+        let log = std::fs::read(&path).unwrap();
+        let cut = (log.len() as u64 * cut_permille as u64 / 1000) as usize;
+        std::fs::write(&path, &log[..cut]).unwrap();
+        if let Ok(recovered) = open_is_graceful(&dir) {
+            prop_assert!(recovered <= 2);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
